@@ -1,0 +1,25 @@
+//! Criterion bench regenerating Figure 1 (profile the corpus + build the
+//! roofline scatter), cached and cache-ablated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pce_bench::bench_study;
+use pce_core::figures::build_fig1;
+use pce_core::study::StudyData;
+
+fn bench_fig1(c: &mut Criterion) {
+    let study = bench_study();
+    let data = StudyData::build(&study);
+    let mut g = c.benchmark_group("fig1");
+    g.sample_size(10);
+    g.bench_function("with_cache", |b| {
+        b.iter(|| std::hint::black_box(build_fig1(&study, &data.corpus, true)))
+    });
+    g.bench_function("no_cache_ablation", |b| {
+        b.iter(|| std::hint::black_box(build_fig1(&study, &data.corpus, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

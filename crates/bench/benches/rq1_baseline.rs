@@ -1,0 +1,25 @@
+//! Criterion bench regenerating the RQ1 experiment (Table 1 cols 4–5) for
+//! one reasoning and one standard model at reduced roofline count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pce_bench::bench_study;
+use pce_core::experiments::run_rq1;
+use pce_llm::SurrogateEngine;
+
+fn bench_rq1(c: &mut Criterion) {
+    let mut study = bench_study();
+    study.rq1_rooflines = 24;
+    let engine = SurrogateEngine::new();
+    let mut g = c.benchmark_group("rq1");
+    g.sample_size(10);
+    for model in ["o3-mini", "gpt-4o-mini"] {
+        g.bench_function(model, |b| {
+            b.iter(|| std::hint::black_box(run_rq1(&study, &engine, model)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rq1);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating the RQ2 zero-shot evaluation (Table 1
+//! cols 6–8) over the smoke-scale dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pce_bench::bench_study;
+use pce_core::experiments::run_classification;
+use pce_core::study::StudyData;
+use pce_llm::SurrogateEngine;
+use pce_prompt::ShotStyle;
+
+fn bench_rq2(c: &mut Criterion) {
+    let study = bench_study();
+    let data = StudyData::build(&study);
+    let engine = SurrogateEngine::new();
+    let mut g = c.benchmark_group("rq2_zero_shot");
+    g.sample_size(10);
+    for model in ["o3-mini-high", "gpt-4o-mini"] {
+        g.bench_function(model, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_classification(
+                    &study,
+                    &engine,
+                    model,
+                    &data.dataset.samples,
+                    ShotStyle::ZeroShot,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rq2);
+criterion_main!(benches);

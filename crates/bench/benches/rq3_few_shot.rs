@@ -1,0 +1,35 @@
+//! Criterion bench regenerating the RQ3 few-shot evaluation (Table 1
+//! cols 9–11) over the smoke-scale dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pce_bench::bench_study;
+use pce_core::experiments::run_classification;
+use pce_core::study::StudyData;
+use pce_llm::SurrogateEngine;
+use pce_prompt::ShotStyle;
+
+fn bench_rq3(c: &mut Criterion) {
+    let study = bench_study();
+    let data = StudyData::build(&study);
+    let engine = SurrogateEngine::new();
+    let mut g = c.benchmark_group("rq3_few_shot");
+    g.sample_size(10);
+    for model in ["o1", "gemini-2.0-flash-001"] {
+        g.bench_function(model, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_classification(
+                    &study,
+                    &engine,
+                    model,
+                    &data.dataset.samples,
+                    ShotStyle::FewShot,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rq3);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating the RQ4 fine-tuning experiment (§3.7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pce_bench::bench_study;
+use pce_core::experiments::run_rq4;
+use pce_core::study::StudyData;
+
+fn bench_rq4(c: &mut Criterion) {
+    let study = bench_study();
+    let data = StudyData::build(&study);
+    let mut g = c.benchmark_group("rq4");
+    g.sample_size(10);
+    g.bench_function("finetune_and_validate", |b| {
+        b.iter(|| std::hint::black_box(run_rq4(&study, &data.split)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rq4);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Calibration probe: print per-model RQ2/RQ3 accuracy on the smoke study
+//! (used while tuning zoo capability parameters; kept as a diagnostic).
+
+use pce_core::experiments::run_classification;
+use pce_core::study::{Study, StudyData};
+use pce_llm::{model_zoo, SurrogateEngine};
+use pce_prompt::ShotStyle;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let study = if smoke { Study::smoke() } else { Study::default() };
+    let data = StudyData::build(&study);
+    println!(
+        "dataset: {} samples (per-combo {})",
+        data.dataset.len(),
+        data.report.per_combo
+    );
+    let engine = SurrogateEngine::new();
+    println!(
+        "{:<24} {:>6} {:>8} {:>8} {:>8} {:>8}",
+        "model", "reas", "rq2 acc", "rq2 mcc", "rq3 acc", "rq3 mcc"
+    );
+    for spec in model_zoo() {
+        let rq2 = run_classification(
+            &study,
+            &engine,
+            &spec.name,
+            &data.dataset.samples,
+            ShotStyle::ZeroShot,
+        );
+        let rq3 = run_classification(
+            &study,
+            &engine,
+            &spec.name,
+            &data.dataset.samples,
+            ShotStyle::FewShot,
+        );
+        println!(
+            "{:<24} {:>6} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            spec.name,
+            if spec.reasoning { "yes" } else { "no" },
+            rq2.metrics.accuracy,
+            rq2.metrics.mcc,
+            rq3.metrics.accuracy,
+            rq3.metrics.mcc
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerate the §2.1–2.2 dataset funnel, with a token-cutoff sweep
+//! (DESIGN.md ablation).
+
+use pce_bench::study_from_args;
+use pce_core::report::render_funnel;
+use pce_core::study::StudyData;
+use pce_dataset::run_pipeline;
+
+fn main() {
+    let study = study_from_args();
+    let data = StudyData::build(&study);
+    println!("{}", render_funnel(&data.report));
+
+    println!("Token-cutoff ablation:");
+    for cutoff in [2_000usize, 4_000, 8_000, 16_000] {
+        let mut cfg = study.pipeline.clone();
+        cfg.max_tokens = cutoff;
+        let (_, _, report) = run_pipeline(&data.corpus, &cfg);
+        let kept: usize = report.after_prune.values().sum();
+        println!(
+            "  cutoff {:>6}: kept {:>4} programs, final dataset {:>4}",
+            cutoff, kept, report.final_size
+        );
+    }
+}

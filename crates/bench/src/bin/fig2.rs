@@ -1,0 +1,13 @@
+//! Regenerate Figure 2: token-count box-and-whisker statistics of the
+//! train/validation splits, per language and class.
+
+use pce_bench::study_from_args;
+use pce_core::figures::build_fig2;
+use pce_core::report::render_fig2;
+use pce_core::study::StudyData;
+
+fn main() {
+    let study = study_from_args();
+    let data = StudyData::build(&study);
+    println!("{}", render_fig2(&build_fig2(&data.split)));
+}

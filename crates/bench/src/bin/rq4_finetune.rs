@@ -1,0 +1,13 @@
+//! Regenerate the RQ4 fine-tuning experiment (§3.7): train the surrogate
+//! head on the 80% split and report the validation collapse.
+
+use pce_bench::study_from_args;
+use pce_core::experiments::run_rq4;
+use pce_core::report::render_rq4;
+use pce_core::study::StudyData;
+
+fn main() {
+    let study = study_from_args();
+    let data = StudyData::build(&study);
+    println!("{}", render_rq4(&run_rq4(&study, &data.split)));
+}

@@ -1,0 +1,36 @@
+//! # pce-bench
+//!
+//! The benchmark harness: one regeneration binary per paper artifact and
+//! Criterion performance benches over the substrates.
+//!
+//! Regeneration binaries (`cargo run -p pce-bench --release --bin <name>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 (all models × RQ1/RQ2/RQ3 metrics) |
+//! | `fig1` | Figure 1 roofline scatter (CSV + summary) |
+//! | `fig2` | Figure 2 token-count box plots |
+//! | `rq4_finetune` | §3.7 fine-tuning collapse |
+//! | `hyperparams` | §3.2 chi-squared sampling-parameter check |
+//! | `dataset_stats` | §2.1–2.2 dataset funnel |
+//!
+//! All binaries accept `--smoke` for a reduced-scale run (CI-friendly) and
+//! default to the paper-scale study otherwise.
+
+use pce_core::study::Study;
+
+/// Parse the common CLI convention: `--smoke` selects the reduced study.
+pub fn study_from_args() -> Study {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        Study::smoke()
+    } else {
+        Study::default()
+    }
+}
+
+/// A moderately sized study for criterion benches: big enough to be
+/// representative, small enough to iterate.
+pub fn bench_study() -> Study {
+    Study::smoke()
+}

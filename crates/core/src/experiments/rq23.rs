@@ -1,0 +1,171 @@
+//! RQ2 (zero-shot) and RQ3 (few-shot) source classification (§3.5–3.6,
+//! Table 1 columns 6–11). The two experiments share a runner: only the
+//! prompt's example bank differs.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use pce_dataset::Sample;
+use pce_llm::{ChatRequest, SamplingParams, SurrogateEngine};
+use pce_metrics::{ConfusionMatrix, MetricBundle};
+use pce_prompt::{render_classify_prompt, ClassifyRequest, ShotStyle};
+use pce_roofline::Boundedness;
+
+use crate::study::Study;
+
+/// Classification results for one (model, shot-style).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationOutcome {
+    /// Model name.
+    pub model: String,
+    /// Zero- or few-shot.
+    pub style: ShotStyle,
+    /// The three Table-1 metrics.
+    pub metrics: MetricBundle,
+    /// The raw confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Per-sample correctness, aligned with the dataset order (for paired
+    /// tests such as McNemar between RQ2 and RQ3).
+    pub correct: Vec<bool>,
+}
+
+/// Build the Fig.-4 prompt for one sample.
+pub fn prompt_for_sample(study: &Study, sample: &Sample, style: ShotStyle) -> String {
+    let req = ClassifyRequest {
+        language: sample.language.label().to_string(),
+        kernel_name: sample.kernel_name.clone(),
+        hardware: study.hardware.clone(),
+        geometry: sample.geometry.clone(),
+        args: sample.args.clone(),
+        source: sample.source.clone(),
+    };
+    render_classify_prompt(&req, style)
+}
+
+/// Run a classification experiment over the dataset for one model.
+pub fn run_classification(
+    study: &Study,
+    engine: &SurrogateEngine,
+    model: &str,
+    samples: &[Sample],
+    style: ShotStyle,
+) -> ClassificationOutcome {
+    let sampling = SamplingParams::default(); // temperature 0.1, top_p 0.2 (§3.2)
+    let results: Vec<(bool, Option<bool>)> = samples
+        .par_iter()
+        .enumerate()
+        .map(|(i, sample)| {
+            let prompt = prompt_for_sample(study, sample, style);
+            let resp = engine.complete(
+                &ChatRequest::new(model, prompt)
+                    .with_sampling(sampling)
+                    .with_seed(study.seed ^ i as u64),
+            );
+            let truth = sample.label == Boundedness::Compute;
+            let pred = Boundedness::parse(&resp.text).map(|b| b == Boundedness::Compute);
+            (truth, pred)
+        })
+        .collect();
+
+    let mut cm = ConfusionMatrix::new();
+    let mut correct = Vec::with_capacity(results.len());
+    for &(truth, pred) in &results {
+        cm.record_opt(truth, pred);
+        correct.push(pred == Some(truth));
+    }
+    ClassificationOutcome {
+        model: model.to_string(),
+        style,
+        metrics: cm.bundle(),
+        confusion: cm,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::StudyData;
+
+    #[test]
+    fn reasoning_beats_non_reasoning_zero_shot() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let engine = SurrogateEngine::new();
+        let strong = run_classification(
+            &study,
+            &engine,
+            "o3-mini-high",
+            &data.dataset.samples,
+            ShotStyle::ZeroShot,
+        );
+        let weak = run_classification(
+            &study,
+            &engine,
+            "gpt-4o-mini",
+            &data.dataset.samples,
+            ShotStyle::ZeroShot,
+        );
+        assert!(
+            strong.metrics.accuracy > weak.metrics.accuracy + 4.0,
+            "reasoning {} vs standard {}",
+            strong.metrics.accuracy,
+            weak.metrics.accuracy
+        );
+        // The paper's headline band: reasoning well above chance but far
+        // from ceiling; standard near chance.
+        assert!(strong.metrics.accuracy > 55.0 && strong.metrics.accuracy < 80.0);
+        assert!(weak.metrics.accuracy > 38.0 && weak.metrics.accuracy < 62.0);
+        assert!(strong.metrics.mcc > weak.metrics.mcc);
+    }
+
+    #[test]
+    fn few_shot_changes_little_for_reasoning_models() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let engine = SurrogateEngine::new();
+        let zero = run_classification(
+            &study,
+            &engine,
+            "o1",
+            &data.dataset.samples,
+            ShotStyle::ZeroShot,
+        );
+        let few = run_classification(
+            &study,
+            &engine,
+            "o1",
+            &data.dataset.samples,
+            ShotStyle::FewShot,
+        );
+        assert!(
+            (zero.metrics.accuracy - few.metrics.accuracy).abs() < 12.0,
+            "zero {} vs few {}",
+            zero.metrics.accuracy,
+            few.metrics.accuracy
+        );
+        // Paired vectors align with the dataset for McNemar testing.
+        assert_eq!(zero.correct.len(), few.correct.len());
+        let mc = pce_metrics::mcnemar_test(&zero.correct, &few.correct);
+        assert!(!mc.significant_at(0.01), "RQ2 vs RQ3 should not differ strongly");
+    }
+
+    #[test]
+    fn outcome_metrics_match_confusion_matrix() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let engine = SurrogateEngine::new();
+        let out = run_classification(
+            &study,
+            &engine,
+            "gemini-2.0-flash-001",
+            &data.dataset.samples,
+            ShotStyle::ZeroShot,
+        );
+        assert_eq!(out.metrics.n as usize, data.dataset.len());
+        let recomputed = out.confusion.bundle();
+        assert_eq!(out.metrics, recomputed);
+        let correct_count = out.correct.iter().filter(|&&c| c).count();
+        assert_eq!(correct_count as u64, out.confusion.correct());
+    }
+}

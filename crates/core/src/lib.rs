@@ -1,0 +1,36 @@
+//! # pce-core
+//!
+//! The experiment harness — the paper's primary artifact. It wires every
+//! substrate together and reproduces each numbered result:
+//!
+//! * [`study`] — study configuration and the shared data build
+//!   (corpus → profiles → balanced dataset → split),
+//! * [`experiments`] — one runner per research question:
+//!   RQ1 baseline roofline calculations, RQ2 zero-shot, RQ3 few-shot,
+//!   RQ4 fine-tuning, plus the §3.2 sampling-hyperparameter chi-squared
+//!   check,
+//! * [`table1`] — assembles the paper's Table 1 across all nine models,
+//! * [`figures`] — the Figure 1 roofline scatter and Figure 2 token
+//!   distributions,
+//! * [`report`] — markdown/CSV rendering of all of the above.
+//!
+//! ```no_run
+//! use pce_core::study::{Study, StudyData};
+//! use pce_core::table1::build_table1;
+//!
+//! let study = Study::default();
+//! let data = StudyData::build(&study);
+//! let table = build_table1(&study, &data);
+//! println!("{}", pce_core::report::render_table1(&table));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+pub mod report;
+pub mod study;
+pub mod table1;
+
+pub use study::{Study, StudyData};

@@ -1,0 +1,176 @@
+//! Rendering: markdown tables and CSV series for every regenerated
+//! artifact.
+
+use std::fmt::Write as _;
+
+use pce_dataset::PipelineReport;
+
+use crate::experiments::{HyperparamCheck, Rq4Outcome};
+use crate::figures::{Fig1, Fig2};
+use crate::table1::Table1;
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.2}"),
+        None => "–".to_string(),
+    }
+}
+
+/// Render Table 1 as markdown, column-for-column like the paper.
+pub fn render_table1(table: &Table1) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(
+        "| Model Name | Reasoning | Cost (1M tokens) | RQ1 Acc. | RQ1 CoT Acc. | RQ2 Acc. | RQ2 F1 | RQ2 MCC | RQ3 Acc. | RQ3 F1 | RQ3 MCC |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in &table.rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} | {:.2} |",
+            r.model,
+            if r.reasoning { "✓" } else { "" },
+            r.cost,
+            fmt_opt(r.rq1_acc),
+            fmt_opt(r.rq1_cot_acc),
+            r.rq2.accuracy,
+            r.rq2.macro_f1,
+            r.rq2.mcc,
+            r.rq3.accuracy,
+            r.rq3.macro_f1,
+            r.rq3.mcc,
+        );
+    }
+    let _ = writeln!(out, "\nTotal simulated API spend: ${:.2}", table.total_cost);
+    out
+}
+
+/// Render the §2.2 dataset funnel.
+pub fn render_funnel(report: &PipelineReport) -> String {
+    let mut out = String::new();
+    out.push_str("Dataset funnel (paper §2.1–2.2):\n");
+    for (lang, n) in &report.built {
+        let _ = writeln!(out, "  built {lang:5} programs: {n}");
+    }
+    for (lang, n) in &report.after_prune {
+        let _ = writeln!(out, "  after 8e3-token pruning {lang:5}: {n}");
+    }
+    for (combo, n) in &report.combo_before_balance {
+        let _ = writeln!(out, "  pre-balance cell {combo:8}: {n}");
+    }
+    let _ = writeln!(out, "  balanced per-cell size: {}", report.per_combo);
+    let _ = writeln!(out, "  final dataset: {}", report.final_size);
+    let _ = writeln!(
+        out,
+        "  train/validation: {}/{}",
+        report.train_size, report.validation_size
+    );
+    out
+}
+
+/// Render Figure 1 as CSV (series per roofline + per-class scatter).
+pub fn render_fig1_csv(fig: &Fig1) -> String {
+    fig.plot.to_csv()
+}
+
+/// Render Figure 1 headline statistics.
+pub fn render_fig1_summary(fig: &Fig1) -> String {
+    format!(
+        "Figure 1 ({}): BB fractions — SP {:.1}%, DP {:.1}%, INT {:.1}%; {} scatter points\n",
+        fig.plot.hardware,
+        fig.sp_bb_fraction * 100.0,
+        fig.dp_bb_fraction * 100.0,
+        fig.int_bb_fraction * 100.0,
+        fig.plot.scatter.len()
+    )
+}
+
+/// Render Figure 2 as a markdown table of box-plot statistics.
+pub fn render_fig2(fig: &Fig2) -> String {
+    let mut out = String::new();
+    out.push_str("| Split | Lang | Class | n | min | Q1 | median | Q3 | max | mean |\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in &fig.rows {
+        let s = &r.stats;
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} |",
+            r.split, r.language, r.class, s.n, s.min, s.q1, s.median, s.q3, s.max, s.mean
+        );
+    }
+    out
+}
+
+/// Render the RQ4 outcome.
+pub fn render_rq4(out4: &Rq4Outcome) -> String {
+    format!(
+        "RQ4 fine-tuning on {} train / {} validation samples:\n\
+         \x20 epoch train accuracy: {:?}\n\
+         \x20 validation: acc {:.2}, macro-F1 {:.2}, MCC {:.2}\n\
+         \x20 prediction concentration: {:.1}% (collapsed to '{}')\n",
+        out4.train_size,
+        out4.validation_size,
+        out4.epoch_train_accuracy,
+        out4.metrics.accuracy,
+        out4.metrics.macro_f1,
+        out4.metrics.mcc,
+        out4.prediction_concentration * 100.0,
+        out4.collapsed_to
+    )
+}
+
+/// Render the hyperparameter chi-squared check.
+pub fn render_hyperparams(check: &HyperparamCheck) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Sampling-hyperparameter check for {}:", check.model);
+    for (s, row) in check.settings.iter().zip(&check.table) {
+        let _ = writeln!(
+            out,
+            "  temp {:.1} top_p {:.2}: Compute {} / Bandwidth {}",
+            s.temperature, s.top_p, row[0], row[1]
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  chi2 = {:.4}, dof = {}, p = {:.4} -> {}",
+        check.chi2.statistic,
+        check.chi2.dof,
+        check.chi2.p_value,
+        if check.chi2.significant_at(0.05) {
+            "SIGNIFICANT (unexpected)"
+        } else {
+            "not significant (matches §3.2)"
+        }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::{build_fig1, build_fig2};
+    use crate::study::{Study, StudyData};
+
+    #[test]
+    fn funnel_report_renders_all_stages() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let text = render_funnel(&data.report);
+        for needle in ["built", "pruning", "balanced per-cell", "train/validation"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn fig_renderers_produce_parseable_output() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let fig1 = build_fig1(&study, &data.corpus, true);
+        let csv = render_fig1_csv(&fig1);
+        assert!(csv.starts_with("series,id,ai,gops,verdict"));
+        assert!(render_fig1_summary(&fig1).contains("BB fractions"));
+
+        let fig2 = build_fig2(&data.split);
+        let md = render_fig2(&fig2);
+        assert_eq!(md.lines().count(), 2 + fig2.rows.len());
+    }
+}

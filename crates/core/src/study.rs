@@ -1,0 +1,102 @@
+//! Study configuration and the shared data build.
+
+use serde::{Deserialize, Serialize};
+
+use pce_dataset::{run_pipeline, Dataset, PipelineConfig, PipelineReport, Split};
+use pce_kernels::{build_corpus, CorpusConfig, Program};
+use pce_roofline::HardwareSpec;
+
+/// Top-level study configuration. Defaults reproduce the paper's setup:
+/// RTX 3080, 446 CUDA + 303 OMP programs, 8e3-token cutoff, 85-per-cell
+/// balancing, 80/20 split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Study {
+    /// Profiling / prompt hardware.
+    pub hardware: HardwareSpec,
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Dataset pipeline parameters.
+    pub pipeline: PipelineConfig,
+    /// Number of RQ1 random rooflines (the paper used 240).
+    pub rq1_rooflines: usize,
+    /// Master evaluation seed.
+    pub seed: u64,
+}
+
+impl Default for Study {
+    fn default() -> Self {
+        let hardware = HardwareSpec::rtx_3080();
+        Study {
+            hardware: hardware.clone(),
+            corpus: CorpusConfig::default(),
+            pipeline: PipelineConfig { hardware, ..Default::default() },
+            rq1_rooflines: 240,
+            seed: 0x9f0f_11e5,
+        }
+    }
+}
+
+impl Study {
+    /// A reduced-scale study for tests and quick runs: smaller corpus,
+    /// smaller balanced cells, fewer RQ1 rooflines. The *structure* of the
+    /// experiments is identical.
+    pub fn smoke() -> Self {
+        let mut study = Study::default();
+        study.corpus = CorpusConfig { seed: 7, cuda_programs: 120, omp_programs: 90 };
+        study.pipeline.per_combo_cap = 15;
+        study.pipeline.tokenizer_vocab = 500;
+        study.pipeline.tokenizer_stride = 13;
+        study.rq1_rooflines = 40;
+        study
+    }
+}
+
+/// The shared data build: corpus, profiles, balanced dataset, split.
+#[derive(Debug, Clone)]
+pub struct StudyData {
+    /// The generated corpus (all built programs).
+    pub corpus: Vec<Program>,
+    /// The balanced evaluation dataset (paper: 340 samples).
+    pub dataset: Dataset,
+    /// The 80/20 fine-tuning split.
+    pub split: Split,
+    /// The pipeline funnel report.
+    pub report: PipelineReport,
+}
+
+impl StudyData {
+    /// Build everything once; reused by every experiment.
+    pub fn build(study: &Study) -> StudyData {
+        let corpus = build_corpus(&study.corpus);
+        let (dataset, split, report) = run_pipeline(&corpus, &study.pipeline);
+        StudyData { corpus, dataset, split, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_study_matches_paper_constants() {
+        let s = Study::default();
+        assert_eq!(s.corpus.cuda_programs, 446);
+        assert_eq!(s.corpus.omp_programs, 303);
+        assert_eq!(s.pipeline.max_tokens, 8_000);
+        assert_eq!(s.pipeline.per_combo_cap, 85);
+        assert_eq!(s.rq1_rooflines, 240);
+        assert!((s.pipeline.train_fraction - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoke_study_builds_balanced_data() {
+        let data = StudyData::build(&Study::smoke());
+        assert!(!data.dataset.is_empty());
+        assert_eq!(data.dataset.len() % 4, 0, "4 balanced cells");
+        assert_eq!(
+            data.dataset.len(),
+            data.split.train.len() + data.split.validation.len()
+        );
+        assert_eq!(data.corpus.len(), 210);
+    }
+}

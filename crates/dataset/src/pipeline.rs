@@ -1,0 +1,334 @@
+//! The end-to-end dataset pipeline.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+use pce_gpu_sim::Profiler;
+use pce_kernels::{Language, Program};
+use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
+use pce_tokenizer::{BpeTrainer, Tokenizer};
+
+use crate::sample::Sample;
+
+/// Pipeline configuration (§2.1–2.2 defaults).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Profiling hardware (the paper's RTX 3080).
+    pub hardware: HardwareSpec,
+    /// Token-count cutoff (the paper's 8e3).
+    pub max_tokens: usize,
+    /// Per-(language × class) cap after balancing (the paper's 85).
+    pub per_combo_cap: usize,
+    /// Training fraction of the final dataset (the paper's 0.8).
+    pub train_fraction: f64,
+    /// BPE vocabulary size for token counting.
+    pub tokenizer_vocab: usize,
+    /// Train the tokenizer on every k-th corpus source.
+    pub tokenizer_stride: usize,
+    /// Shuffle seed for balancing and splitting.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            hardware: HardwareSpec::rtx_3080(),
+            max_tokens: 8_000,
+            per_combo_cap: 85,
+            train_fraction: 0.8,
+            tokenizer_vocab: 1_200,
+            tokenizer_stride: 7,
+            seed: 0x0da7a5e7,
+        }
+    }
+}
+
+/// A labeled dataset.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The samples.
+    pub samples: Vec<Sample>,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serialization cannot fail")
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+/// The 80/20 fine-tuning split.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Split {
+    /// Training set (~272 samples at paper scale).
+    pub train: Dataset,
+    /// Validation set (~68 samples).
+    pub validation: Dataset,
+}
+
+/// Stage-by-stage counts, mirroring the paper's §2.2 funnel numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Programs profiled, per language.
+    pub built: BTreeMap<String, usize>,
+    /// Programs surviving the token cutoff, per language.
+    pub after_prune: BTreeMap<String, usize>,
+    /// Counts per (language, class) cell before balancing.
+    pub combo_before_balance: BTreeMap<String, usize>,
+    /// The balanced per-cell size.
+    pub per_combo: usize,
+    /// Final dataset size (paper: 340).
+    pub final_size: usize,
+    /// Train size (paper: 272).
+    pub train_size: usize,
+    /// Validation size (paper: 68).
+    pub validation_size: usize,
+}
+
+/// Run the full pipeline over a corpus.
+///
+/// Returns the balanced dataset, its train/validation split, and the
+/// funnel report.
+pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split, PipelineReport) {
+    // --- Tokenizer training on a corpus subsample -----------------------
+    let training_docs: Vec<&str> = corpus
+        .iter()
+        .step_by(cfg.tokenizer_stride.max(1))
+        .map(|p| p.source.as_str())
+        .collect();
+    let vocab = BpeTrainer::new(cfg.tokenizer_vocab).train(training_docs);
+    let tokenizer = Tokenizer::new(vocab);
+
+    // --- Profile + label + token-count (parallel) -----------------------
+    let profiler = Profiler::new(cfg.hardware.clone());
+    let mut samples: Vec<Sample> = corpus
+        .par_iter()
+        .map(|p| {
+            let profile = profiler.profile(&p.ir, &p.launch);
+            let label = classify_joint(&cfg.hardware, &profile.counts).label;
+            Sample {
+                id: p.id.clone(),
+                family: p.family.clone(),
+                language: p.language,
+                kernel_name: p.kernel_name.clone(),
+                source: p.source.clone(),
+                geometry: p.launch.geometry_string(),
+                args: p.args.clone(),
+                token_count: tokenizer.count(&p.source),
+                counts: profile.counts,
+                runtime_s: profile.runtime_s,
+                label,
+            }
+        })
+        .collect();
+
+    let count_lang = |samples: &[Sample]| {
+        let mut m = BTreeMap::new();
+        for s in samples {
+            *m.entry(s.language.label().to_string()).or_insert(0) += 1;
+        }
+        m
+    };
+    let built = count_lang(&samples);
+
+    // --- Token-count pruning --------------------------------------------
+    samples.retain(|s| s.token_count <= cfg.max_tokens);
+    let after_prune = count_lang(&samples);
+
+    // --- First kernel per program ----------------------------------------
+    // Corpus programs carry exactly one profiled kernel (the first in the
+    // object dump); a duplicate id would mean the invariant broke upstream.
+    {
+        let mut ids: Vec<&str> = samples.iter().map(|s| s.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate program ids in corpus");
+    }
+
+    // --- Balance (language × class) --------------------------------------
+    let mut by_combo: BTreeMap<(Language, Boundedness), Vec<Sample>> = BTreeMap::new();
+    for s in samples {
+        by_combo.entry(s.combo()).or_default().push(s);
+    }
+    let combo_before_balance = by_combo
+        .iter()
+        .map(|((lang, label), v)| {
+            (format!("{}/{}", lang.label(), label.short()), v.len())
+        })
+        .collect();
+    let min_cell = by_combo.values().map(|v| v.len()).min().unwrap_or(0);
+    let per_combo = min_cell.min(cfg.per_combo_cap);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut balanced = Vec::with_capacity(per_combo * 4);
+    let mut train = Vec::new();
+    let mut validation = Vec::new();
+    for (_, mut cell) in by_combo {
+        cell.shuffle(&mut rng);
+        cell.truncate(per_combo);
+        // Split inside each cell so both splits stay balanced (§2.2: 68
+        // train + 17 validation per cell).
+        let train_n = (per_combo as f64 * cfg.train_fraction).round() as usize;
+        for (i, s) in cell.into_iter().enumerate() {
+            balanced.push(s.clone());
+            if i < train_n {
+                train.push(s);
+            } else {
+                validation.push(s);
+            }
+        }
+    }
+    // Deterministic final ordering.
+    balanced.sort_by(|a, b| a.id.cmp(&b.id));
+    train.sort_by(|a, b| a.id.cmp(&b.id));
+    validation.sort_by(|a, b| a.id.cmp(&b.id));
+
+    let report = PipelineReport {
+        built,
+        after_prune,
+        combo_before_balance,
+        per_combo,
+        final_size: balanced.len(),
+        train_size: train.len(),
+        validation_size: validation.len(),
+    };
+    (
+        Dataset { samples: balanced },
+        Split { train: Dataset { samples: train }, validation: Dataset { samples: validation } },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_kernels::{build_corpus, CorpusConfig};
+
+    fn small_corpus() -> Vec<Program> {
+        build_corpus(&CorpusConfig { seed: 3, cuda_programs: 90, omp_programs: 72 })
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            per_combo_cap: 10,
+            tokenizer_vocab: 500,
+            tokenizer_stride: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_produces_balanced_cells() {
+        let (dataset, _, report) = run_pipeline(&small_corpus(), &cfg());
+        let mut cells: BTreeMap<(Language, Boundedness), usize> = BTreeMap::new();
+        for s in &dataset.samples {
+            *cells.entry(s.combo()).or_insert(0) += 1;
+        }
+        assert_eq!(cells.len(), 4, "all four cells populated: {cells:?}");
+        let sizes: Vec<_> = cells.values().copied().collect();
+        assert!(sizes.iter().all(|&n| n == sizes[0]), "unbalanced: {cells:?}");
+        assert_eq!(report.final_size, sizes[0] * 4);
+    }
+
+    #[test]
+    fn split_sizes_follow_the_train_fraction() {
+        let (dataset, split, report) = run_pipeline(&small_corpus(), &cfg());
+        assert_eq!(split.train.len() + split.validation.len(), dataset.len());
+        assert_eq!(report.train_size, split.train.len());
+        // 80% of each cell, rounded.
+        let expected_train = (report.per_combo as f64 * 0.8).round() as usize * 4;
+        assert_eq!(split.train.len(), expected_train);
+    }
+
+    #[test]
+    fn split_cells_stay_balanced() {
+        let (_, split, _) = run_pipeline(&small_corpus(), &cfg());
+        for ds in [&split.train, &split.validation] {
+            let mut cells: BTreeMap<(Language, Boundedness), usize> = BTreeMap::new();
+            for s in &ds.samples {
+                *cells.entry(s.combo()).or_insert(0) += 1;
+            }
+            let sizes: Vec<_> = cells.values().copied().collect();
+            assert!(sizes.iter().all(|&n| n == sizes[0]), "{cells:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_respects_the_token_cutoff() {
+        let mut c = cfg();
+        c.max_tokens = 2_000;
+        let (dataset, _, report) = run_pipeline(&small_corpus(), &c);
+        assert!(dataset.samples.iter().all(|s| s.token_count <= 2_000));
+        let built: usize = report.built.values().sum();
+        let kept: usize = report.after_prune.values().sum();
+        assert!(kept < built, "a 2k cutoff must drop some programs");
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let corpus = small_corpus();
+        let (a, sa, _) = run_pipeline(&corpus, &cfg());
+        let (b, sb, _) = run_pipeline(&corpus, &cfg());
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn labels_match_reprofiling() {
+        let (dataset, _, _) = run_pipeline(&small_corpus(), &cfg());
+        let hw = HardwareSpec::rtx_3080();
+        for s in dataset.samples.iter().take(10) {
+            assert_eq!(classify_joint(&hw, &s.counts).label, s.label, "{}", s.id);
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (dataset, _, _) = run_pipeline(&small_corpus(), &cfg());
+        let json = dataset.to_json();
+        let back = Dataset::from_json(&json).unwrap();
+        // Float fields may round-trip within 1 ULP (the JSON parser is not
+        // shortest-repr exact); everything else must be identical.
+        assert_eq!(dataset.len(), back.len());
+        for (a, b) in dataset.samples.iter().zip(&back.samples) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.counts, b.counts);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.token_count, b.token_count);
+            let rel = (a.runtime_s - b.runtime_s).abs() / a.runtime_s;
+            assert!(rel < 1e-12, "runtime drifted: {} vs {}", a.runtime_s, b.runtime_s);
+        }
+        assert!(Dataset::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn train_and_validation_are_disjoint() {
+        let (_, split, _) = run_pipeline(&small_corpus(), &cfg());
+        let train_ids: std::collections::BTreeSet<_> =
+            split.train.samples.iter().map(|s| &s.id).collect();
+        for s in &split.validation.samples {
+            assert!(!train_ids.contains(&s.id), "{} leaked into both splits", s.id);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # pce-kernels
+//!
+//! A synthetic GPU benchmark corpus modeled on the HeCBench suite the paper
+//! profiles (§2.1): 446 CUDA programs and 303 OpenMP-offload programs drawn
+//! from 30 kernel families spanning streaming, dense linear algebra,
+//! stencil, and compute-heavy workloads.
+//!
+//! Every generated [`Program`](corpus::Program) carries *two consistent
+//! views* of the same computation:
+//!
+//! * **source text** — a complete, compilable-looking CUDA or OpenMP C++
+//!   program (kernel + host harness + argument parsing), which is what the
+//!   LLMs see in the paper's prompts, and
+//! * **kernel IR + launch config** — the `pce-gpu-sim` lowering, which is
+//!   what the profiler executes to produce ground-truth labels.
+//!
+//! The two views agree on computational structure (op mix, loop bounds,
+//! access patterns) but diverge exactly where real profiling diverges from
+//! source reading: caches, coalescing, and runtime-dependent sizes. That
+//! gap is the paper's entire subject.
+//!
+//! ```
+//! use pce_kernels::{build_corpus, CorpusConfig, Language};
+//!
+//! let corpus = build_corpus(&CorpusConfig { seed: 7, cuda_programs: 10, omp_programs: 5 });
+//! assert_eq!(corpus.iter().filter(|p| p.language == Language::Cuda).count(), 10);
+//! assert!(corpus[0].source.contains("__global__") || corpus[0].source.contains("#pragma omp"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod families;
+pub mod source;
+
+pub use corpus::{build_corpus, CorpusConfig, Language, Program};
+pub use families::{family_names, Variant};

@@ -1,0 +1,205 @@
+//! Chat-completion API types: requests, responses, token usage and cost
+//! accounting — the shape of the service boundary the paper's harness
+//! talks to (Azure OpenAI / Gemini endpoints).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Sampling hyperparameters (§3.2). Reasoning models ignore them, exactly
+/// as the hosted o-series endpoints reject sampling overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingParams {
+    /// Softmax temperature.
+    pub temperature: f64,
+    /// Nucleus cutoff.
+    pub top_p: f64,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        // The paper settles on (0.1, 0.2) after its chi-squared check.
+        SamplingParams { temperature: 0.1, top_p: 0.2 }
+    }
+}
+
+/// One completion request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatRequest {
+    /// Model name (must exist in the zoo).
+    pub model: String,
+    /// The full prompt text.
+    pub prompt: String,
+    /// Sampling parameters; `None` = model defaults.
+    pub sampling: Option<SamplingParams>,
+    /// Request seed for reproducible sampling.
+    pub seed: u64,
+}
+
+impl ChatRequest {
+    /// Convenience constructor.
+    pub fn new(model: &str, prompt: impl Into<String>) -> Self {
+        ChatRequest { model: model.to_string(), prompt: prompt.into(), sampling: None, seed: 0 }
+    }
+
+    /// Attach sampling parameters (builder style).
+    pub fn with_sampling(mut self, sampling: SamplingParams) -> Self {
+        self.sampling = Some(sampling);
+        self
+    }
+
+    /// Attach a seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Token usage of one completion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Usage {
+    /// Prompt-side tokens.
+    pub prompt_tokens: u64,
+    /// Completion-side tokens (reasoning models bill hidden thinking
+    /// tokens here, as the o-series does).
+    pub completion_tokens: u64,
+}
+
+impl Usage {
+    /// Total tokens.
+    pub fn total(&self) -> u64 {
+        self.prompt_tokens + self.completion_tokens
+    }
+}
+
+/// One completion response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChatResponse {
+    /// Model that produced the answer.
+    pub model: String,
+    /// The answer text (a single class token in this study).
+    pub text: String,
+    /// Optional reasoning trace (surrogate of hidden chain-of-thought;
+    /// exposed for debugging, never parsed by the harness).
+    pub trace: Option<String>,
+    /// Token usage.
+    pub usage: Usage,
+}
+
+/// Thread-safe accumulator of usage and dollar cost across a run.
+#[derive(Debug, Clone, Default)]
+pub struct UsageMeter {
+    inner: Arc<Mutex<BTreeMap<String, (Usage, f64)>>>,
+}
+
+impl UsageMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one response against a model's `$ / 1M token` prices.
+    pub fn record(&self, resp: &ChatResponse, input_cost: f64, output_cost: f64) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(resp.model.clone()).or_default();
+        entry.0.prompt_tokens += resp.usage.prompt_tokens;
+        entry.0.completion_tokens += resp.usage.completion_tokens;
+        entry.1 += resp.usage.prompt_tokens as f64 / 1e6 * input_cost
+            + resp.usage.completion_tokens as f64 / 1e6 * output_cost;
+    }
+
+    /// Accumulated (usage, cost) per model.
+    pub fn snapshot(&self) -> BTreeMap<String, (Usage, f64)> {
+        self.inner.lock().clone()
+    }
+
+    /// Total dollar cost across models.
+    pub fn total_cost(&self) -> f64 {
+        self.inner.lock().values().map(|(_, c)| c).sum()
+    }
+}
+
+/// Crude token estimate for usage accounting: whitespace-delimited words
+/// plus punctuation density (≈ chars/4 on source code). Billing-grade
+/// token counts come from `pce-tokenizer`; this keeps the API crate free
+/// of that dependency.
+pub fn approx_tokens(text: &str) -> u64 {
+    (text.len() as u64 / 4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sampling_matches_paper() {
+        let s = SamplingParams::default();
+        assert_eq!(s.temperature, 0.1);
+        assert_eq!(s.top_p, 0.2);
+    }
+
+    #[test]
+    fn usage_totals() {
+        let u = Usage { prompt_tokens: 100, completion_tokens: 5 };
+        assert_eq!(u.total(), 105);
+    }
+
+    #[test]
+    fn meter_accumulates_cost() {
+        let meter = UsageMeter::new();
+        let resp = ChatResponse {
+            model: "m".into(),
+            text: "Compute".into(),
+            trace: None,
+            usage: Usage { prompt_tokens: 1_000_000, completion_tokens: 500_000 },
+        };
+        meter.record(&resp, 2.0, 8.0);
+        meter.record(&resp, 2.0, 8.0);
+        let snap = meter.snapshot();
+        assert_eq!(snap["m"].0.prompt_tokens, 2_000_000);
+        // 2 * (1.0 * 2 + 0.5 * 8) = 12.
+        assert!((meter.total_cost() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_is_shareable_across_threads() {
+        let meter = UsageMeter::new();
+        let resp = ChatResponse {
+            model: "m".into(),
+            text: "Bandwidth".into(),
+            trace: None,
+            usage: Usage { prompt_tokens: 10, completion_tokens: 1 },
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let meter = meter.clone();
+                let resp = resp.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        meter.record(&resp, 1.0, 1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(meter.snapshot()["m"].0.prompt_tokens, 8000);
+    }
+
+    #[test]
+    fn approx_tokens_scales_with_length() {
+        assert!(approx_tokens("abcd") >= 1);
+        let short = approx_tokens("int main() {}");
+        let long = approx_tokens(&"int main() {}".repeat(100));
+        assert!(long > 50 * short);
+    }
+
+    #[test]
+    fn request_builder_chains() {
+        let r = ChatRequest::new("o1", "hello")
+            .with_sampling(SamplingParams { temperature: 0.7, top_p: 0.9 })
+            .with_seed(42);
+        assert_eq!(r.model, "o1");
+        assert_eq!(r.seed, 42);
+        assert_eq!(r.sampling.unwrap().temperature, 0.7);
+    }
+}

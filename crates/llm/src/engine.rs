@@ -1,0 +1,417 @@
+//! The surrogate completion engine.
+//!
+//! One engine serves every model in the zoo. Given a request it:
+//!
+//! 1. identifies the task by re-parsing the prompt ([`crate::parse`]),
+//! 2. solves it with the model's mechanisms — exact balance-point
+//!    arithmetic for reasoning models, slip-prone arithmetic for standard
+//!    ones; deep loop-aware static analysis vs. shallow whole-file token
+//!    counting for source classification,
+//! 3. perturbs borderline answers with seeded, sampling-dependent noise
+//!    (the hosted models' run-to-run variance), and
+//! 4. bills usage to the shared [`UsageMeter`].
+//!
+//! Determinism: the answer is a pure function of (model, prompt, seed,
+//! sampling params).
+
+use pce_roofline::Boundedness;
+use pce_static_analysis::{analyze, AnalyzeOptions};
+
+use crate::api::{approx_tokens, ChatRequest, ChatResponse, SamplingParams, Usage, UsageMeter};
+use crate::parse::{
+    bind_args_to_params, has_cot_examples, is_rq1_prompt, parse_classify, parse_rq1,
+};
+use crate::zoo::{model, Capability, ModelSpec};
+
+/// The shared engine.
+#[derive(Debug, Clone, Default)]
+pub struct SurrogateEngine {
+    meter: UsageMeter,
+}
+
+impl SurrogateEngine {
+    /// A fresh engine with an empty usage meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The engine's usage meter.
+    pub fn meter(&self) -> &UsageMeter {
+        &self.meter
+    }
+
+    /// Complete a request.
+    ///
+    /// # Panics
+    /// Panics when the requested model is not in the zoo — the harness
+    /// only ever evaluates Table-1 models.
+    pub fn complete(&self, req: &ChatRequest) -> ChatResponse {
+        let spec = model(&req.model)
+            .unwrap_or_else(|| panic!("model '{}' is not in the zoo", req.model));
+        let sampling = req.sampling.unwrap_or_default();
+        let mut rng = NoiseStream::new(&spec.name, &req.prompt, req.seed, sampling);
+
+        let (text, trace) = if is_rq1_prompt(&req.prompt) {
+            self.answer_rq1(&spec, &req.prompt, &mut rng)
+        } else if let Some(q) = parse_classify(&req.prompt) {
+            self.answer_classify(&spec, q, &req.prompt, &mut rng)
+        } else {
+            // Unrecognized prompt: fall back to the model's prior.
+            let answer = if spec.caps.bias_bandwidth {
+                Boundedness::Bandwidth
+            } else {
+                Boundedness::Compute
+            };
+            (answer.answer_token().to_string(), Some("prior-only guess".to_string()))
+        };
+
+        let usage = Usage {
+            prompt_tokens: approx_tokens(&req.prompt),
+            completion_tokens: 1 + spec.reasoning_tokens,
+        };
+        let resp = ChatResponse { model: spec.name.clone(), text, trace, usage };
+        self.meter.record(&resp, spec.input_cost, spec.output_cost);
+        resp
+    }
+
+    fn answer_rq1(
+        &self,
+        spec: &ModelSpec,
+        prompt: &str,
+        rng: &mut NoiseStream,
+    ) -> (String, Option<String>) {
+        let Some(q) = parse_rq1(prompt) else {
+            return ("Bandwidth".to_string(), Some("failed to parse question".into()));
+        };
+        let balance = q.peak_gflops / q.bandwidth_gbs;
+        let correct = if q.ai >= balance {
+            Boundedness::Compute
+        } else {
+            Boundedness::Bandwidth
+        };
+        let margin = (q.ai / balance).log10().abs();
+
+        let mut answer = correct;
+        if !spec.reasoning {
+            let slip_p = if has_cot_examples(prompt) {
+                spec.caps.arith_slip_cot
+            } else {
+                spec.caps.arith_slip
+            };
+            // Slips only flip answers near the balance point: a mis-divided
+            // balance still classifies 10x-away intensities correctly.
+            if margin < Capability::SLIP_MARGIN_DECADES && rng.chance(slip_p) {
+                answer = answer.flipped();
+            }
+        }
+        let trace = format!(
+            "balance = {:.4} / {:.4} = {:.4} FLOP/B; AI = {:.4}; margin = {:.2} decades",
+            q.peak_gflops, q.bandwidth_gbs, balance, q.ai, margin
+        );
+        (answer.answer_token().to_string(), Some(trace))
+    }
+
+    fn answer_classify(
+        &self,
+        spec: &ModelSpec,
+        q: crate::parse::ClassifyQuestion,
+        prompt: &str,
+        rng: &mut NoiseStream,
+    ) -> (String, Option<String>) {
+        // Prior-bias short circuit: skewed models sometimes answer from
+        // their prior without consulting the code.
+        if rng.chance(spec.caps.bias_strength) {
+            let answer = if spec.caps.bias_bandwidth {
+                Boundedness::Bandwidth
+            } else {
+                Boundedness::Compute
+            };
+            return (answer.answer_token().to_string(), Some("prior-driven answer".into()));
+        }
+
+        // Deep readers (reasoning models, and frontier-scale standard
+        // models) bind CLI args to source variables and weight loops;
+        // shallow models skim the whole file flat.
+        let deep = spec.reasoning || spec.caps.insight >= 0.6;
+        let params = if deep {
+            bind_args_to_params(&q.source, &q.args)
+        } else {
+            Default::default()
+        };
+        let opts = AnalyzeOptions { params, default_trip: 64.0, loop_aware: deep };
+        let analysis = analyze(&q.source, &opts);
+
+        let (tally, trip_weight) = if deep {
+            match analysis.kernel(&q.kernel_name) {
+                Some(k) => (k.tally, k.trip_weight),
+                None => (analysis.file_tally, 1.0),
+            }
+        } else {
+            (analysis.file_tally, 1.0)
+        };
+
+        // Reuse anticipation: loop-nest reuse shrinks true DRAM traffic, so
+        // an aware reader scales its AI estimate up with iteration weight.
+        let reuse_boost = 1.0 + spec.caps.reuse_aware * trip_weight.clamp(1.0, 4096.0).powf(0.4);
+
+        let balances = [
+            q.peak_sp / q.bandwidth,
+            q.peak_dp / q.bandwidth,
+            q.peak_int / q.bandwidth,
+        ];
+        let mut verdict = Boundedness::Bandwidth;
+        let mut best_margin = f64::NEG_INFINITY; // max over classes of log10(ai/balance)
+        for (class_idx, balance) in balances.iter().enumerate() {
+            let ai = tally.ai(class_idx) * reuse_boost;
+            if ai <= 0.0 {
+                continue;
+            }
+            let m = if ai.is_infinite() { 3.0 } else { (ai / balance).log10() };
+            best_margin = best_margin.max(m);
+            if m >= 0.0 {
+                verdict = Boundedness::Compute;
+            }
+        }
+        if best_margin == f64::NEG_INFINITY {
+            best_margin = -1.0; // no ops seen at all: far-BB guess
+        }
+
+        // Classification noise. Two regimes:
+        //
+        // * Deep readers mis-estimate trip counts, miss templated paths,
+        //   and cannot see the memory system — errors that concentrate near
+        //   the balance point but persist (with a long decay) even far from
+        //   it. This is what holds the o-series near the paper's ~64 %.
+        // * Shallow readers barely consult the code; their answers carry a
+        //   flat, margin-independent error floor that keeps them near
+        //   chance (paper: accuracies ≈ 50 %, MCC ≈ 0).
+        //
+        // In-context learning: real code examples in the prompt (RQ3) give
+        // shallow models a small insight bump — the paper's "~2 %"
+        // improvement for the minis.
+        let insight = if deep {
+            spec.caps.insight
+        } else {
+            let bump = if prompt_has_real_examples(prompt) { 0.10 } else { 0.0 };
+            (spec.caps.insight + bump).min(1.0)
+        };
+        let flip_p = if deep {
+            ((1.0 - 0.62 * insight) * 1.1 * (-best_margin.abs() / 2.2).exp()).min(0.45)
+        } else {
+            0.45 * (1.0 - insight).powi(2)
+        };
+        let mut answer = verdict;
+        if rng.chance(flip_p) {
+            answer = answer.flipped();
+        }
+        let trace = format!(
+            "static AI margins vs (sp,dp,int) balances {:?}; best margin {:.2}; reuse x{:.2}",
+            balances, best_margin, reuse_boost
+        );
+        (answer.answer_token().to_string(), Some(trace))
+    }
+}
+
+/// Evaluate an arbitrary (possibly unregistered) model spec on a prompt
+/// and return just the answer text. This is the hook the capability
+/// ablation uses to sweep synthetic specs without registering them in the
+/// zoo; it shares the exact answer path with [`SurrogateEngine::complete`].
+pub fn complete_with_spec(spec: &ModelSpec, prompt: &str, seed: u64) -> String {
+    let engine = SurrogateEngine::new();
+    let mut rng = NoiseStream::new(&spec.name, prompt, seed, SamplingParams::default());
+    let (text, _) = if is_rq1_prompt(prompt) {
+        engine.answer_rq1(spec, prompt, &mut rng)
+    } else if let Some(q) = parse_classify(prompt) {
+        engine.answer_classify(spec, q, prompt, &mut rng)
+    } else {
+        ("Bandwidth".to_string(), None)
+    };
+    text
+}
+
+/// Whether the prompt's example section carries *real* code (RQ3) rather
+/// than pseudo-code (RQ2): real examples contain actual kernel syntax
+/// before the "Now, analyze" marker.
+fn prompt_has_real_examples(prompt: &str) -> bool {
+    let example_section = match prompt.find("Now, analyze") {
+        Some(at) => &prompt[..at],
+        None => prompt,
+    };
+    example_section.contains("__global__") || example_section.contains("#pragma omp")
+}
+
+/// Deterministic noise stream: FNV-1a over the request identity, then
+/// xorshift64*. Sampling parameters are folded into the seed so different
+/// temperatures give different-but-statistically-identical streams — the
+/// behaviour behind the paper's chi-squared insensitivity result (§3.2).
+struct NoiseStream {
+    state: u64,
+}
+
+impl NoiseStream {
+    fn new(model: &str, prompt: &str, seed: u64, sampling: SamplingParams) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        eat(model.as_bytes());
+        eat(prompt.as_bytes());
+        eat(&seed.to_le_bytes());
+        eat(&sampling.temperature.to_bits().to_le_bytes());
+        eat(&sampling.top_p.to_bits().to_le_bytes());
+        NoiseStream { state: h | 1 }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // xorshift64* — plenty for Bernoulli draws.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pce_prompt::{generate_rq1_suite, render_rq1_prompt};
+
+    fn rq1_accuracy(model_name: &str, shots: usize, cot: bool) -> f64 {
+        let suite = generate_rq1_suite(120, 99);
+        let engine = SurrogateEngine::new();
+        let mut correct = 0;
+        for (i, item) in suite.items.iter().enumerate() {
+            let prompt = render_rq1_prompt(&suite, i, shots, cot);
+            let resp = engine.complete(&ChatRequest::new(model_name, prompt).with_seed(i as u64));
+            if Boundedness::parse(&resp.text) == Some(item.truth) {
+                correct += 1;
+            }
+        }
+        correct as f64 / suite.items.len() as f64
+    }
+
+    #[test]
+    fn reasoning_models_score_100_on_rq1() {
+        for name in ["o3-mini-high", "o3-mini", "o1-mini-2024-09-12"] {
+            assert_eq!(rq1_accuracy(name, 2, false), 1.0, "{name}");
+            assert_eq!(rq1_accuracy(name, 2, true), 1.0, "{name} CoT");
+        }
+    }
+
+    #[test]
+    fn standard_models_score_90ish_and_improve_with_cot() {
+        let plain = rq1_accuracy("gpt-4o-mini", 4, false);
+        let cot = rq1_accuracy("gpt-4o-mini", 4, true);
+        assert!(plain > 0.82 && plain < 0.97, "plain accuracy {plain}");
+        assert!(cot > plain, "CoT must help: {cot} vs {plain}");
+        assert!(cot > 0.97, "CoT accuracy {cot}");
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let suite = generate_rq1_suite(5, 1);
+        let prompt = render_rq1_prompt(&suite, 0, 2, false);
+        let engine = SurrogateEngine::new();
+        let req = ChatRequest::new("gpt-4o-mini", prompt).with_seed(7);
+        assert_eq!(engine.complete(&req).text, engine.complete(&req).text);
+    }
+
+    #[test]
+    fn temperature_changes_stream_but_not_statistics() {
+        let suite = generate_rq1_suite(200, 3);
+        let engine = SurrogateEngine::new();
+        let mut acc = vec![];
+        for temp in [0.1, 1.0] {
+            let sampling = SamplingParams { temperature: temp, top_p: 0.2 };
+            let mut correct = 0;
+            for (i, item) in suite.items.iter().enumerate() {
+                let prompt = render_rq1_prompt(&suite, i, 2, false);
+                let resp = engine.complete(
+                    &ChatRequest::new("gemini-2.0-flash-001", prompt)
+                        .with_sampling(sampling)
+                        .with_seed(i as u64),
+                );
+                if Boundedness::parse(&resp.text) == Some(item.truth) {
+                    correct += 1;
+                }
+            }
+            acc.push(correct as f64 / suite.items.len() as f64);
+        }
+        // Different streams, statistically indistinguishable accuracy.
+        assert!((acc[0] - acc[1]).abs() < 0.05, "{acc:?}");
+    }
+
+    #[test]
+    fn usage_is_metered_with_reasoning_tokens() {
+        let engine = SurrogateEngine::new();
+        let suite = generate_rq1_suite(5, 1);
+        let prompt = render_rq1_prompt(&suite, 0, 2, false);
+        engine.complete(&ChatRequest::new("o1", prompt.clone()));
+        engine.complete(&ChatRequest::new("gpt-4o-mini", prompt));
+        let snap = engine.meter().snapshot();
+        assert!(snap["o1"].0.completion_tokens > 1000, "o-series bills thinking tokens");
+        assert_eq!(snap["gpt-4o-mini"].0.completion_tokens, 1);
+        assert!(snap["o1"].1 > snap["gpt-4o-mini"].1, "o1 costs more");
+    }
+
+    #[test]
+    fn unparseable_prompt_falls_back_to_prior() {
+        let engine = SurrogateEngine::new();
+        let resp = engine.complete(&ChatRequest::new("gpt-4o-mini", "hello there"));
+        assert!(Boundedness::parse(&resp.text).is_some());
+        assert_eq!(resp.trace.as_deref(), Some("prior-only guess"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the zoo")]
+    fn unknown_model_panics() {
+        SurrogateEngine::new().complete(&ChatRequest::new("gpt-6", "hi"));
+    }
+
+    #[test]
+    fn classification_consults_the_source() {
+        use pce_prompt::{render_classify_prompt, ClassifyRequest, ShotStyle};
+        let hw = pce_roofline::HardwareSpec::rtx_3080();
+        // A transparently compute-bound kernel: huge iteration loop, one store.
+        let cb_src = "__global__ void burn(long n, int iters, float* out) {\n\
+                      \x20 long i = blockIdx.x * (long)blockDim.x + threadIdx.x;\n\
+                      \x20 float x = 1.5f;\n\
+                      \x20 for (int s = 0; s < 100000; s++) { x = x * 1.0001f + 0.1f; }\n\
+                      \x20 out[i] = x;\n}\n";
+        // A transparently streaming kernel.
+        let bb_src = "__global__ void copy(long n, const float* a, float* b) {\n\
+                      \x20 long i = blockIdx.x * (long)blockDim.x + threadIdx.x;\n\
+                      \x20 if (i < n) b[i] = a[i];\n}\n";
+        let engine = SurrogateEngine::new();
+        let mk = |name: &str, src: &str| {
+            let req = ClassifyRequest {
+                language: "CUDA".into(),
+                kernel_name: name.into(),
+                hardware: hw.clone(),
+                geometry: "(4096,1,1) and (256,1,1)".into(),
+                args: vec!["1048576".into()],
+                source: src.into(),
+            };
+            render_classify_prompt(&req, ShotStyle::ZeroShot)
+        };
+        let cb = engine.complete(&ChatRequest::new("o3-mini-high", mk("burn", cb_src)));
+        let bb = engine.complete(&ChatRequest::new("o3-mini-high", mk("copy", bb_src)));
+        assert_eq!(cb.text, "Compute");
+        assert_eq!(bb.text, "Bandwidth");
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded bootstrap confidence intervals for any statistic over paired
+//! (truth, prediction) outcomes.
+//!
+//! With only 340 evaluation samples, point metrics deserve uncertainty
+//! bars; the harness uses these to report, e.g., a 95 % CI on each Table-1
+//! accuracy cell.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+impl BootstrapInterval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether a hypothesised value lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+}
+
+/// Percentile-bootstrap a statistic over a sample of outcomes.
+///
+/// `statistic` maps a resampled slice of items to a scalar. The RNG stream
+/// is fully determined by `seed`.
+///
+/// # Panics
+/// Panics on an empty sample, zero resamples, or a level outside (0, 1).
+pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
+    items: &[T],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapInterval {
+    assert!(!items.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+
+    let estimate = statistic(items);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut scratch = Vec::with_capacity(items.len());
+    for _ in 0..resamples {
+        scratch.clear();
+        for _ in 0..items.len() {
+            let idx = rng.gen_range(0..items.len());
+            scratch.push(items[idx].clone());
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
+
+    let alpha = 1.0 - level;
+    let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
+        .saturating_sub(1)
+        .min(resamples - 1);
+    BootstrapInterval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        resamples,
+        level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accuracy(items: &[bool]) -> f64 {
+        items.iter().filter(|&&x| x).count() as f64 / items.len() as f64
+    }
+
+    #[test]
+    fn degenerate_sample_has_zero_width() {
+        let items = vec![true; 100];
+        let ci = bootstrap_ci(&items, accuracy, 200, 0.95, 7);
+        assert_eq!(ci.estimate, 1.0);
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+        assert_eq!(ci.width(), 0.0);
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let items: Vec<bool> = (0..200).map(|i| i % 3 != 0).collect();
+        let ci = bootstrap_ci(&items, accuracy, 500, 0.95, 42);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.contains(ci.estimate));
+        // ~66% accuracy; CI should be within a plausible band.
+        assert!(ci.lo > 0.5 && ci.hi < 0.8);
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_interval() {
+        let items: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 123);
+        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 123);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let items: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 1);
+        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 2);
+        // Same estimate (deterministic), but resampled bounds differ.
+        assert_eq!(a.estimate, b.estimate);
+        assert!(a.lo != b.lo || a.hi != b.hi);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let items: Vec<bool> = (0..150).map(|i| i % 4 != 0).collect();
+        let narrow = bootstrap_ci(&items, accuracy, 800, 0.8, 5);
+        let wide = bootstrap_ci(&items, accuracy, 800, 0.99, 5);
+        assert!(wide.width() >= narrow.width());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        bootstrap_ci(&[] as &[bool], accuracy, 10, 0.95, 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Few-shot example banks.
+//!
+//! RQ2 (zero-shot) prompts carry the paper's *pseudo-code* examples; RQ3
+//! (few-shot) replaces them with *real* code examples in the queried
+//! language. As in the paper (§3.3), the real examples are **not** part of
+//! the evaluation dataset and only two are supplied per query to avoid
+//! bloating the prompt.
+
+use pce_roofline::Boundedness;
+
+use crate::classify::ShotStyle;
+
+/// One worked classification example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// Short description of what the snippet shows.
+    pub code: &'static str,
+    /// Its classification.
+    pub label: Boundedness,
+}
+
+/// The paper's pseudo-code examples (Fig. 4), used for RQ2.
+pub fn pseudo_examples() -> [Example; 2] {
+    [
+        Example {
+            code: "for i = 0 to 1000000 {\n    a[i] = a[i] + b[i];\n}",
+            label: Boundedness::Compute,
+        },
+        Example {
+            code: "for i = 0 to 10 {\n    load_data(large_array);\n    process_data(large_array);\n    store_data(large_array);\n}",
+            label: Boundedness::Bandwidth,
+        },
+    ]
+}
+
+/// Real CUDA examples for RQ3 (not drawn from the evaluation corpus).
+pub fn cuda_examples() -> [Example; 2] {
+    [
+        Example {
+            // An iteration-heavy independent kernel: compute-bound.
+            code: "__global__ void power_iter(int n, int steps, float* v) {\n\
+                   \x20 int i = blockIdx.x * blockDim.x + threadIdx.x;\n\
+                   \x20 if (i >= n) return;\n\
+                   \x20 float x = v[i];\n\
+                   \x20 for (int s = 0; s < steps; s++) {\n\
+                   \x20   x = x * 1.00001f + 0.000001f;\n\
+                   \x20   x = x - x * x * 0.0000001f;\n\
+                   \x20 }\n\
+                   \x20 v[i] = x;\n}",
+            label: Boundedness::Compute,
+        },
+        Example {
+            // A pure streaming kernel: bandwidth-bound.
+            code: "__global__ void stream_store(long n, const float* in, float* out) {\n\
+                   \x20 long i = blockIdx.x * (long)blockDim.x + threadIdx.x;\n\
+                   \x20 if (i < n) out[i] = 0.5f * in[i];\n}",
+            label: Boundedness::Bandwidth,
+        },
+    ]
+}
+
+/// Real OpenMP-offload examples for RQ3.
+pub fn omp_examples() -> [Example; 2] {
+    [
+        Example {
+            code: "#pragma omp target teams distribute parallel for map(tofrom: v[0:n])\n\
+                   for (int i = 0; i < n; i++) {\n\
+                   \x20 double x = v[i];\n\
+                   \x20 for (int s = 0; s < 5000; s++) x = x * 1.0000001 + 1e-9;\n\
+                   \x20 v[i] = x;\n}",
+            label: Boundedness::Compute,
+        },
+        Example {
+            code: "#pragma omp target teams distribute parallel for map(to: in[0:n]) map(from: out[0:n])\n\
+                   for (long i = 0; i < n; i++) out[i] = in[i] * 0.5;",
+            label: Boundedness::Bandwidth,
+        },
+    ]
+}
+
+/// The examples appropriate for a prompt style and language.
+pub fn examples_for(style: ShotStyle, language_label: &str) -> [Example; 2] {
+    match style {
+        ShotStyle::ZeroShot => pseudo_examples(),
+        ShotStyle::FewShot => {
+            if language_label.eq_ignore_ascii_case("cuda") {
+                cuda_examples()
+            } else {
+                omp_examples()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_bank_has_one_example_per_class() {
+        for bank in [pseudo_examples(), cuda_examples(), omp_examples()] {
+            let labels: Vec<_> = bank.iter().map(|e| e.label).collect();
+            assert!(labels.contains(&Boundedness::Compute));
+            assert!(labels.contains(&Boundedness::Bandwidth));
+        }
+    }
+
+    #[test]
+    fn few_shot_examples_match_language() {
+        let cuda = examples_for(ShotStyle::FewShot, "CUDA");
+        assert!(cuda[0].code.contains("__global__"));
+        let omp = examples_for(ShotStyle::FewShot, "OMP");
+        assert!(omp[0].code.contains("#pragma omp"));
+    }
+
+    #[test]
+    fn zero_shot_uses_pseudo_code_regardless_of_language() {
+        let a = examples_for(ShotStyle::ZeroShot, "CUDA");
+        let b = examples_for(ShotStyle::ZeroShot, "OMP");
+        assert_eq!(a[0].code, b[0].code);
+        assert!(!a[0].code.contains("__global__"));
+    }
+
+    #[test]
+    fn real_examples_are_not_corpus_programs() {
+        // Corpus kernels carry benchmark-harness mains; the example bank is
+        // bare kernels only.
+        for e in cuda_examples().iter().chain(omp_examples().iter()) {
+            assert!(!e.code.contains("int main"));
+        }
+    }
+}

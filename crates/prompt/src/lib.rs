@@ -1,0 +1,26 @@
+//! # pce-prompt
+//!
+//! Prompt construction for the roofline-classification study, mirroring the
+//! paper's two prompt templates:
+//!
+//! * [`rq1`] — the *baseline roofline calculation* prompts (Fig. 3):
+//!   k-shot question/answer examples (optionally with chain-of-thought
+//!   "Thought:" lines) over randomly generated rooflines, followed by a
+//!   query roofline whose AI must be classified,
+//! * [`classify`] — the *source classification* system prompt (Fig. 4):
+//!   hardware specs, launch geometry, CLI arguments, and the concatenated
+//!   source code, with pseudo-code examples (zero-shot, RQ2) or real
+//!   in-language code examples (few-shot, RQ3).
+//!
+//! Prompts are plain strings: the surrogate LLM engines re-parse them just
+//! as a hosted model would have to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod examples;
+pub mod rq1;
+
+pub use classify::{render_classify_prompt, ClassifyRequest, ShotStyle};
+pub use rq1::{generate_rq1_suite, render_rq1_prompt, Rq1Item, Rq1Suite};

@@ -1,0 +1,264 @@
+//! GPU hardware specifications used as roofline ceilings.
+//!
+//! A [`HardwareSpec`] captures exactly the quantities the paper's prompts
+//! expose to the LLMs (Fig. 4): peak single-precision, double-precision and
+//! integer throughput, plus peak DRAM bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Roofline;
+
+/// The class of arithmetic operation a roofline is drawn for.
+///
+/// The paper profiles three counters per kernel — single-precision FLOPs,
+/// double-precision FLOPs and integer ops — and draws one roofline per class
+/// (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-precision (32-bit) floating-point operations.
+    Sp,
+    /// Double-precision (64-bit) floating-point operations.
+    Dp,
+    /// Integer operations (32-bit).
+    Int,
+}
+
+impl OpClass {
+    /// All operation classes, in the order the paper reports them.
+    pub const ALL: [OpClass; 3] = [OpClass::Sp, OpClass::Dp, OpClass::Int];
+
+    /// Human-readable label matching the paper's figures ("SP-FLOP", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Sp => "SP-FLOP",
+            OpClass::Dp => "DP-FLOP",
+            OpClass::Int => "INTOP",
+        }
+    }
+
+    /// Unit string for throughput in this class.
+    pub fn unit(self) -> &'static str {
+        match self {
+            OpClass::Sp | OpClass::Dp => "GFLOP/s",
+            OpClass::Int => "GINTOP/s",
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A GPU hardware description sufficient to draw its rooflines.
+///
+/// All throughputs are *theoretical peaks* in units of 10⁹ operations per
+/// second (GFLOP/s or GINTOP/s); bandwidth is peak DRAM bandwidth in GB/s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Marketing name, e.g. `"NVIDIA GeForce RTX 3080"`.
+    pub name: String,
+    /// Peak single-precision throughput in GFLOP/s.
+    pub peak_sp_gflops: f64,
+    /// Peak double-precision throughput in GFLOP/s.
+    pub peak_dp_gflops: f64,
+    /// Peak integer throughput in GINTOP/s.
+    pub peak_int_giops: f64,
+    /// Peak DRAM bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+    /// Device memory capacity in GiB (prompt metadata only).
+    pub memory_gib: f64,
+    /// Number of streaming multiprocessors (used by the GPU simulator).
+    pub num_sms: u32,
+    /// Core clock in MHz (used by the GPU simulator).
+    pub core_clock_mhz: f64,
+    /// L2 cache size in bytes (used by the GPU simulator's cache model).
+    pub l2_bytes: u64,
+}
+
+impl HardwareSpec {
+    /// The paper's target device: NVIDIA GeForce RTX 3080 10 GB (§2.1).
+    ///
+    /// Peaks follow the published Ampere GA102 numbers: 29.77 TFLOP/s SP,
+    /// 1/64 rate DP, half-rate INT32, 760 GB/s GDDR6X bandwidth.
+    pub fn rtx_3080() -> Self {
+        HardwareSpec {
+            name: "NVIDIA GeForce RTX 3080".to_string(),
+            peak_sp_gflops: 29_770.0,
+            peak_dp_gflops: 465.1,
+            peak_int_giops: 14_885.0,
+            bandwidth_gbs: 760.0,
+            memory_gib: 10.0,
+            num_sms: 68,
+            core_clock_mhz: 1_710.0,
+            l2_bytes: 5 * 1024 * 1024,
+        }
+    }
+
+    /// NVIDIA A100-SXM4-40GB (used by the "expanding dataset" future-work
+    /// experiments and the hardware-sensitivity ablation).
+    pub fn a100() -> Self {
+        HardwareSpec {
+            name: "NVIDIA A100-SXM4-40GB".to_string(),
+            peak_sp_gflops: 19_500.0,
+            peak_dp_gflops: 9_700.0,
+            peak_int_giops: 19_500.0,
+            bandwidth_gbs: 1_555.0,
+            memory_gib: 40.0,
+            num_sms: 108,
+            core_clock_mhz: 1_410.0,
+            l2_bytes: 40 * 1024 * 1024,
+        }
+    }
+
+    /// NVIDIA Tesla V100-SXM2-16GB.
+    pub fn v100() -> Self {
+        HardwareSpec {
+            name: "NVIDIA Tesla V100-SXM2-16GB".to_string(),
+            peak_sp_gflops: 15_700.0,
+            peak_dp_gflops: 7_800.0,
+            peak_int_giops: 15_700.0,
+            bandwidth_gbs: 900.0,
+            memory_gib: 16.0,
+            num_sms: 80,
+            core_clock_mhz: 1_530.0,
+            l2_bytes: 6 * 1024 * 1024,
+        }
+    }
+
+    /// AMD Instinct MI100 (performance-portability ablation target).
+    pub fn mi100() -> Self {
+        HardwareSpec {
+            name: "AMD Instinct MI100".to_string(),
+            peak_sp_gflops: 23_100.0,
+            peak_dp_gflops: 11_500.0,
+            peak_int_giops: 23_100.0,
+            bandwidth_gbs: 1_229.0,
+            memory_gib: 32.0,
+            num_sms: 120,
+            core_clock_mhz: 1_502.0,
+            l2_bytes: 8 * 1024 * 1024,
+        }
+    }
+
+    /// All built-in presets.
+    pub fn presets() -> Vec<HardwareSpec> {
+        vec![
+            Self::rtx_3080(),
+            Self::a100(),
+            Self::v100(),
+            Self::mi100(),
+        ]
+    }
+
+    /// Look up a preset by (case-insensitive) substring of its name.
+    pub fn preset_by_name(name: &str) -> Option<HardwareSpec> {
+        let needle = name.to_ascii_lowercase();
+        Self::presets()
+            .into_iter()
+            .find(|hw| hw.name.to_ascii_lowercase().contains(&needle))
+    }
+
+    /// Peak throughput for an operation class, in Gops/s.
+    pub fn peak_gops(&self, class: OpClass) -> f64 {
+        match class {
+            OpClass::Sp => self.peak_sp_gflops,
+            OpClass::Dp => self.peak_dp_gflops,
+            OpClass::Int => self.peak_int_giops,
+        }
+    }
+
+    /// The roofline for one operation class.
+    pub fn roofline(&self, class: OpClass) -> Roofline {
+        Roofline::new(self.peak_gops(class), self.bandwidth_gbs)
+    }
+
+    /// Validate physical plausibility of the spec.
+    ///
+    /// Returns a list of human-readable problems; empty when valid.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut check = |cond: bool, msg: &str| {
+            if !cond {
+                problems.push(msg.to_string());
+            }
+        };
+        check(self.peak_sp_gflops > 0.0, "peak SP throughput must be positive");
+        check(self.peak_dp_gflops > 0.0, "peak DP throughput must be positive");
+        check(self.peak_int_giops > 0.0, "peak INT throughput must be positive");
+        check(self.bandwidth_gbs > 0.0, "bandwidth must be positive");
+        check(
+            self.peak_dp_gflops <= self.peak_sp_gflops,
+            "DP peak cannot exceed SP peak on any real GPU",
+        );
+        check(self.num_sms > 0, "SM count must be positive");
+        check(self.core_clock_mhz > 0.0, "core clock must be positive");
+        check(self.l2_bytes > 0, "L2 size must be positive");
+        check(self.memory_gib > 0.0, "memory capacity must be positive");
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx_3080_matches_published_specs() {
+        let hw = HardwareSpec::rtx_3080();
+        assert_eq!(hw.name, "NVIDIA GeForce RTX 3080");
+        assert!((hw.peak_sp_gflops - 29_770.0).abs() < 1.0);
+        assert!((hw.bandwidth_gbs - 760.0).abs() < 1e-9);
+        // DP is the 1/64-rate GA102 figure.
+        assert!(hw.peak_dp_gflops < hw.peak_sp_gflops / 60.0);
+        assert!(hw.validate().is_empty());
+    }
+
+    #[test]
+    fn all_presets_validate() {
+        for hw in HardwareSpec::presets() {
+            assert!(hw.validate().is_empty(), "{} failed validation", hw.name);
+        }
+    }
+
+    #[test]
+    fn preset_lookup_is_case_insensitive_substring() {
+        assert!(HardwareSpec::preset_by_name("rtx 3080").is_some());
+        assert!(HardwareSpec::preset_by_name("A100").is_some());
+        assert!(HardwareSpec::preset_by_name("H900-nonexistent").is_none());
+    }
+
+    #[test]
+    fn peak_gops_selects_the_right_class() {
+        let hw = HardwareSpec::rtx_3080();
+        assert_eq!(hw.peak_gops(OpClass::Sp), hw.peak_sp_gflops);
+        assert_eq!(hw.peak_gops(OpClass::Dp), hw.peak_dp_gflops);
+        assert_eq!(hw.peak_gops(OpClass::Int), hw.peak_int_giops);
+    }
+
+    #[test]
+    fn op_class_labels_match_paper() {
+        assert_eq!(OpClass::Sp.label(), "SP-FLOP");
+        assert_eq!(OpClass::Dp.label(), "DP-FLOP");
+        assert_eq!(OpClass::Int.label(), "INTOP");
+        assert_eq!(OpClass::Int.unit(), "GINTOP/s");
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut hw = HardwareSpec::rtx_3080();
+        hw.peak_dp_gflops = hw.peak_sp_gflops * 2.0;
+        hw.bandwidth_gbs = 0.0;
+        let problems = hw.validate();
+        assert_eq!(problems.len(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hw = HardwareSpec::rtx_3080();
+        let json = serde_json::to_string(&hw).unwrap();
+        let back: HardwareSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(hw, back);
+    }
+}

@@ -1,0 +1,177 @@
+//! Hierarchical rooflines: per-memory-level ceilings (L1 / L2 / DRAM),
+//! following the NERSC hierarchical-roofline methodology the paper builds
+//! on (Yang, Kurth & Williams, CCPE 2020 — reference [34]).
+//!
+//! The flat model of [`crate::model`] draws one bandwidth slope; real GPUs
+//! have one per memory level. A kernel's *level-specific* arithmetic
+//! intensity (ops per byte moved at that level) against that level's slope
+//! tells you which part of the hierarchy limits it — the diagnostic the
+//! paper's future-work section wants LLMs to learn next.
+
+use serde::{Deserialize, Serialize};
+
+use crate::classify::Boundedness;
+use crate::hardware::{HardwareSpec, OpClass};
+use crate::model::Roofline;
+
+/// A memory level of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// Per-SM L1/shared level.
+    L1,
+    /// Chip-wide L2.
+    L2,
+    /// Device DRAM (HBM/GDDR).
+    Dram,
+}
+
+impl MemLevel {
+    /// All levels, innermost first.
+    pub const ALL: [MemLevel; 3] = [MemLevel::L1, MemLevel::L2, MemLevel::Dram];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::Dram => "DRAM",
+        }
+    }
+}
+
+/// A hierarchical roofline: one compute ceiling, one slope per level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierarchicalRoofline {
+    /// Peak throughput in Gops/s for the op class of interest.
+    pub peak_gops: f64,
+    /// `(level, bandwidth GB/s)` innermost→outermost, strictly decreasing.
+    pub levels: Vec<(MemLevel, f64)>,
+}
+
+impl HierarchicalRoofline {
+    /// Derive a hierarchy from a flat hardware spec using Ampere-class
+    /// ratios: L1 ≈ SM count × 128 B/cycle, L2 ≈ 2.5× DRAM.
+    pub fn from_spec(hw: &HardwareSpec, class: OpClass) -> Self {
+        let l1 = hw.num_sms as f64 * 128.0 * hw.core_clock_mhz * 1e6 / 1e9;
+        let l2 = hw.bandwidth_gbs * 2.5;
+        let dram = hw.bandwidth_gbs;
+        HierarchicalRoofline {
+            peak_gops: hw.peak_gops(class),
+            levels: vec![(MemLevel::L1, l1), (MemLevel::L2, l2), (MemLevel::Dram, dram)],
+        }
+    }
+
+    /// The flat roofline of one level.
+    pub fn level(&self, level: MemLevel) -> Option<Roofline> {
+        self.levels
+            .iter()
+            .find(|(l, _)| *l == level)
+            .map(|&(_, bw)| Roofline::new(self.peak_gops, bw))
+    }
+
+    /// Classify a kernel from its per-level AI values
+    /// (`ops / bytes-moved-at-level`); returns each level's verdict.
+    ///
+    /// Levels with no traffic (infinite AI) are compute-bound by
+    /// definition at that level.
+    pub fn classify(&self, ai_per_level: &[(MemLevel, f64)]) -> Vec<(MemLevel, Boundedness)> {
+        ai_per_level
+            .iter()
+            .filter_map(|&(level, ai)| {
+                self.level(level).map(|roof| {
+                    let verdict = if ai.is_infinite() {
+                        Boundedness::Compute
+                    } else {
+                        roof.classify(ai)
+                    };
+                    (level, verdict)
+                })
+            })
+            .collect()
+    }
+
+    /// The limiting level: the outermost level that is bandwidth-bound, or
+    /// `None` if the kernel is compute-bound at every level.
+    pub fn limiting_level(&self, ai_per_level: &[(MemLevel, f64)]) -> Option<MemLevel> {
+        let verdicts = self.classify(ai_per_level);
+        // Outermost = later in MemLevel::ALL ordering.
+        MemLevel::ALL
+            .iter()
+            .rev()
+            .find(|lvl| {
+                verdicts
+                    .iter()
+                    .any(|(l, v)| l == *lvl && *v == Boundedness::Bandwidth)
+            })
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> HierarchicalRoofline {
+        HierarchicalRoofline::from_spec(&HardwareSpec::rtx_3080(), OpClass::Sp)
+    }
+
+    #[test]
+    fn bandwidths_decrease_outward() {
+        let h = hier();
+        let bws: Vec<f64> = h.levels.iter().map(|&(_, bw)| bw).collect();
+        assert!(bws[0] > bws[1] && bws[1] > bws[2], "{bws:?}");
+        // DRAM slope matches the flat model.
+        assert_eq!(bws[2], HardwareSpec::rtx_3080().bandwidth_gbs);
+    }
+
+    #[test]
+    fn balance_points_grow_inward_to_outward() {
+        let h = hier();
+        let bp = |l| h.level(l).unwrap().balance_point();
+        assert!(bp(MemLevel::L1) < bp(MemLevel::L2));
+        assert!(bp(MemLevel::L2) < bp(MemLevel::Dram));
+    }
+
+    #[test]
+    fn dram_bound_kernel_is_limited_by_dram() {
+        let h = hier();
+        // Streams everything: same AI at every level, below all balances.
+        let ai = vec![(MemLevel::L1, 0.2), (MemLevel::L2, 0.2), (MemLevel::Dram, 0.2)];
+        assert_eq!(h.limiting_level(&ai), Some(MemLevel::Dram));
+    }
+
+    #[test]
+    fn cache_blocked_kernel_is_limited_by_l1() {
+        let h = hier();
+        // Shared-memory-blocked GEMM: heavy L1 traffic, light DRAM traffic.
+        let dram_bp = h.level(MemLevel::Dram).unwrap().balance_point();
+        let l1_bp = h.level(MemLevel::L1).unwrap().balance_point();
+        let ai = vec![
+            (MemLevel::L1, l1_bp * 0.5),    // BB at L1
+            (MemLevel::L2, dram_bp * 5.0),  // CB at L2
+            (MemLevel::Dram, dram_bp * 50.0), // CB at DRAM
+        ];
+        assert_eq!(h.limiting_level(&ai), Some(MemLevel::L1));
+    }
+
+    #[test]
+    fn fully_compute_bound_kernel_has_no_limiting_level() {
+        let h = hier();
+        let ai = vec![
+            (MemLevel::L1, f64::INFINITY),
+            (MemLevel::L2, f64::INFINITY),
+            (MemLevel::Dram, f64::INFINITY),
+        ];
+        assert_eq!(h.limiting_level(&ai), None);
+        let verdicts = h.classify(&ai);
+        assert!(verdicts.iter().all(|(_, v)| *v == Boundedness::Compute));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let h = hier();
+        let json = serde_json::to_string(&h).unwrap();
+        let back: HierarchicalRoofline = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+    }
+}

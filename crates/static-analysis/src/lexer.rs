@@ -1,0 +1,239 @@
+//! A C-family lexer sufficient for CUDA and OpenMP-offload sources.
+//!
+//! Comments are dropped; preprocessor lines are kept as single
+//! [`TokenKind::Pragma`] tokens (the OMP analyzer needs `#pragma omp
+//! target` markers); everything else becomes identifiers, numbers, string
+//! literals, or single/multi-character punctuation.
+
+use serde::{Deserialize, Serialize};
+
+/// Lexical category of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (integer or floating, with suffixes).
+    Number,
+    /// String or char literal (contents preserved).
+    Str,
+    /// A whole preprocessor line (`#include …`, `#pragma …`).
+    Pragma,
+    /// Punctuation / operator (1–3 chars, e.g. `+`, `+=`, `<<<`).
+    Punct,
+}
+
+/// One lexed token: kind plus its exact source text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Lexical category.
+    pub kind: TokenKind,
+    /// Source text of the token.
+    pub text: String,
+}
+
+impl Token {
+    /// Convenience check against literal text.
+    pub fn is(&self, s: &str) -> bool {
+        self.text == s
+    }
+}
+
+/// Multi-character operators, longest-match-first.
+const MULTI_PUNCT: [&str; 26] = [
+    "<<<", ">>>", "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "##",
+];
+
+/// Lex a source string into tokens.
+///
+/// The lexer never fails: unrecognized bytes become single-char `Punct`
+/// tokens, which is the right degradation for an estimator that must
+/// accept arbitrary benchmark code.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::with_capacity(source.len() / 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        // Whitespace.
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment.
+        if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+            continue;
+        }
+        // Preprocessor line (with backslash continuations).
+        if b == b'#' {
+            let start = i;
+            while i < bytes.len() {
+                if bytes[i] == b'\n' {
+                    // Continuation?
+                    if i > 0 && bytes[i - 1] == b'\\' {
+                        i += 1;
+                        continue;
+                    }
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Pragma,
+                text: source[start..i].trim_end().to_string(),
+            });
+            continue;
+        }
+        // Identifier.
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token { kind: TokenKind::Ident, text: source[start..i].to_string() });
+            continue;
+        }
+        // Number (ints, floats, hex, suffixes like f/u/l, exponents).
+        if b.is_ascii_digit() || (b == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+        {
+            let start = i;
+            let mut seen_exp = false;
+            while i < bytes.len() {
+                let c = bytes[i];
+                let ok = c.is_ascii_alphanumeric()
+                    || c == b'.'
+                    || ((c == b'+' || c == b'-')
+                        && seen_exp
+                        && matches!(bytes[i - 1], b'e' | b'E' | b'p' | b'P'));
+                if !ok {
+                    break;
+                }
+                if matches!(c, b'e' | b'E' | b'p' | b'P') {
+                    seen_exp = true;
+                }
+                i += 1;
+            }
+            tokens.push(Token { kind: TokenKind::Number, text: source[start..i].to_string() });
+            continue;
+        }
+        // String / char literal.
+        if b == b'"' || b == b'\'' {
+            let quote = b;
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] != quote {
+                if bytes[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(bytes.len());
+            tokens.push(Token { kind: TokenKind::Str, text: source[start..i].to_string() });
+            continue;
+        }
+        // Multi-char punctuation, longest first.
+        let rest = &source[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            tokens.push(Token { kind: TokenKind::Punct, text: (*op).to_string() });
+            i += op.len();
+            continue;
+        }
+        // Single char (UTF-8 aware).
+        let ch_len = rest.chars().next().map(char::len_utf8).unwrap_or(1);
+        tokens.push(Token { kind: TokenKind::Punct, text: rest[..ch_len].to_string() });
+        i += ch_len;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn basic_statement_lexes() {
+        let toks = texts("y[i] = a * x[i] + y[i];");
+        assert_eq!(
+            toks,
+            vec!["y", "[", "i", "]", "=", "a", "*", "x", "[", "i", "]", "+", "y", "[", "i", "]", ";"]
+        );
+    }
+
+    #[test]
+    fn comments_are_dropped() {
+        let toks = texts("a // line\n/* block\nstill */ b");
+        assert_eq!(toks, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pragma_lines_are_single_tokens() {
+        let toks = lex("#pragma omp target teams\nint x;");
+        assert_eq!(toks[0].kind, TokenKind::Pragma);
+        assert!(toks[0].text.contains("omp target teams"));
+        assert_eq!(toks[1].text, "int");
+    }
+
+    #[test]
+    fn pragma_continuation_lines_join() {
+        let toks = lex("#pragma omp target \\\n  map(to: a)\nx");
+        assert_eq!(toks[0].kind, TokenKind::Pragma);
+        assert!(toks[0].text.contains("map(to: a)"));
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
+    fn float_literals_keep_suffixes_and_exponents() {
+        let toks = texts("1.0f 2.5e-3 0x1Fu 3.0");
+        assert_eq!(toks, vec!["1.0f", "2.5e-3", "0x1Fu", "3.0"]);
+    }
+
+    #[test]
+    fn cuda_launch_chevrons_lex_as_one_token() {
+        let toks = texts("k<<<grid, block>>>(a);");
+        assert!(toks.contains(&"<<<".to_string()));
+        assert!(toks.contains(&">>>".to_string()));
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        let toks = texts("a += b; c <<= 2;");
+        assert!(toks.contains(&"+=".to_string()));
+        assert!(toks.contains(&"<<=".to_string()));
+    }
+
+    #[test]
+    fn string_literals_survive_with_escapes() {
+        let toks = lex(r#"printf("%d \"quoted\"\n", x);"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("quoted"));
+    }
+
+    #[test]
+    fn leading_dot_floats_lex_as_numbers() {
+        let toks = lex("x = .5f;");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == ".5f"));
+    }
+
+    #[test]
+    fn empty_and_whitespace_sources() {
+        assert!(lex("").is_empty());
+        assert!(lex("   \n\t  ").is_empty());
+    }
+}

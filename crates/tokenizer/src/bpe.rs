@@ -1,0 +1,218 @@
+//! The BPE vocabulary and encoder/decoder.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::pretokenizer::pretokenize;
+
+/// A trained BPE vocabulary: 256 byte tokens plus learned merges.
+///
+/// Token ids `0..256` are the raw bytes; id `256 + r` is the token produced
+/// by merge rank `r`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vocab {
+    /// Learned merges in rank order: `(left_id, right_id)`.
+    pub merges: Vec<(u32, u32)>,
+}
+
+impl Vocab {
+    /// An empty vocabulary (byte-level only).
+    pub fn byte_level() -> Self {
+        Vocab { merges: Vec::new() }
+    }
+
+    /// Total vocabulary size (256 bytes + merges).
+    pub fn size(&self) -> usize {
+        256 + self.merges.len()
+    }
+
+    /// Reconstruct the byte string of a token id.
+    pub fn token_bytes(&self, id: u32) -> Vec<u8> {
+        if id < 256 {
+            vec![id as u8]
+        } else {
+            let (l, r) = self.merges[(id - 256) as usize];
+            let mut out = self.token_bytes(l);
+            out.extend(self.token_bytes(r));
+            out
+        }
+    }
+}
+
+/// A BPE encoder/decoder over a trained [`Vocab`].
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vocab,
+    /// merge pair -> (rank, produced id)
+    ranks: HashMap<(u32, u32), (u32, u32)>,
+}
+
+impl Tokenizer {
+    /// Wrap a vocabulary into an encoder.
+    pub fn new(vocab: Vocab) -> Self {
+        let mut ranks = HashMap::with_capacity(vocab.merges.len());
+        for (rank, &(l, r)) in vocab.merges.iter().enumerate() {
+            ranks.insert((l, r), (rank as u32, 256 + rank as u32));
+        }
+        Tokenizer { vocab, ranks }
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encode text to token ids.
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::with_capacity(text.len() / 3 + 1);
+        for chunk in pretokenize(text) {
+            self.encode_chunk(chunk.as_bytes(), &mut out);
+        }
+        out
+    }
+
+    /// Number of tokens `text` encodes to (no allocation of the id vec
+    /// beyond a scratch per chunk).
+    pub fn count(&self, text: &str) -> usize {
+        let mut n = 0;
+        let mut scratch = Vec::new();
+        for chunk in pretokenize(text) {
+            scratch.clear();
+            self.encode_chunk(chunk.as_bytes(), &mut scratch);
+            n += scratch.len();
+        }
+        n
+    }
+
+    fn encode_chunk(&self, bytes: &[u8], out: &mut Vec<u32>) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut ids: Vec<u32> = bytes.iter().map(|&b| b as u32).collect();
+        // Greedy lowest-rank-first merging, the canonical BPE inference.
+        loop {
+            let mut best: Option<(u32, usize, u32)> = None; // (rank, pos, new_id)
+            for i in 0..ids.len() - 1 {
+                if let Some(&(rank, new_id)) = self.ranks.get(&(ids[i], ids[i + 1])) {
+                    if best.is_none_or(|(r, _, _)| rank < r) {
+                        best = Some((rank, i, new_id));
+                    }
+                }
+            }
+            match best {
+                Some((_, pos, new_id)) => {
+                    ids[pos] = new_id;
+                    ids.remove(pos + 1);
+                    if ids.len() < 2 {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        out.extend_from_slice(&ids);
+    }
+
+    /// Decode token ids back to text.
+    ///
+    /// # Panics
+    /// Panics if the byte stream is not valid UTF-8 (possible only for id
+    /// sequences that never came from [`Tokenizer::encode`]).
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut bytes = Vec::with_capacity(ids.len() * 3);
+        for &id in ids {
+            bytes.extend(self.vocab.token_bytes(id));
+        }
+        String::from_utf8(bytes).expect("decoded byte stream was not UTF-8")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::BpeTrainer;
+
+    fn trained() -> Tokenizer {
+        let corpus = [
+            "__global__ void add(const float* a, float* b, int n) {",
+            "  int i = blockIdx.x * blockDim.x + threadIdx.x;",
+            "  if (i < n) { b[i] = a[i] + b[i]; }",
+            "}",
+            "#pragma omp target teams distribute parallel for",
+            "for (int i = 0; i < n; ++i) b[i] += a[i];",
+        ];
+        Tokenizer::new(BpeTrainer::new(600).train(corpus.iter().copied()))
+    }
+
+    #[test]
+    fn byte_level_encodes_one_token_per_byte() {
+        let tok = Tokenizer::new(Vocab::byte_level());
+        let ids = tok.encode("abc");
+        assert_eq!(ids, vec![97, 98, 99]);
+    }
+
+    #[test]
+    fn roundtrip_on_training_like_text() {
+        let tok = trained();
+        let text = "__global__ void add(const float* a) { int i = threadIdx.x; }";
+        assert_eq!(tok.decode(&tok.encode(text)), text);
+    }
+
+    #[test]
+    fn roundtrip_on_unseen_text_including_unicode() {
+        let tok = trained();
+        for text in ["zebra quux 0xDEADBEEF", "λ-calculus ∑", "\n\n\t  mixed \r\n"] {
+            assert_eq!(tok.decode(&tok.encode(text)), text, "failed on {text:?}");
+        }
+    }
+
+    #[test]
+    fn training_compresses_frequent_patterns() {
+        let tok = trained();
+        let text = "float* a, float* b, float* c";
+        let trained_count = tok.count(text);
+        let byte_count = Tokenizer::new(Vocab::byte_level()).count(text);
+        assert!(
+            trained_count < byte_count / 2,
+            "trained {trained_count} vs bytes {byte_count}"
+        );
+    }
+
+    #[test]
+    fn count_matches_encode_len() {
+        let tok = trained();
+        let text = "if (i < n) { b[i] = a[i] + b[i]; }";
+        assert_eq!(tok.count(text), tok.encode(text).len());
+    }
+
+    #[test]
+    fn empty_text_is_zero_tokens() {
+        let tok = trained();
+        assert_eq!(tok.encode(""), Vec::<u32>::new());
+        assert_eq!(tok.count(""), 0);
+    }
+
+    #[test]
+    fn token_bytes_reconstruct_merges() {
+        let tok = trained();
+        for id in 256..(tok.vocab().size() as u32) {
+            let bytes = tok.vocab().token_bytes(id);
+            assert!(bytes.len() >= 2, "merge token must span >= 2 bytes");
+        }
+    }
+
+    #[test]
+    fn vocab_serde_round_trip() {
+        let vocab = trained().vocab().clone();
+        let json = serde_json::to_string(&vocab).unwrap();
+        let back: Vocab = serde_json::from_str(&json).unwrap();
+        assert_eq!(vocab, back);
+    }
+
+    #[test]
+    fn deterministic_encoding() {
+        let tok = trained();
+        let text = "#pragma omp target teams distribute parallel for";
+        assert_eq!(tok.encode(text), tok.encode(text));
+    }
+}

@@ -1,0 +1,43 @@
+//! # pce-tokenizer
+//!
+//! A from-scratch byte-level BPE (byte-pair-encoding) tokenizer, standing
+//! in for the gpt-4o-mini tokenizer (tiktoken `o200k_base`) the paper uses
+//! for its token-count pruning step (§2.2) and the Figure-2 token
+//! distribution plots.
+//!
+//! The design follows the GPT lineage:
+//!
+//! 1. [`pretokenize`](pretokenizer::pretokenize) splits text into
+//!    word-like chunks (identifier runs, number runs, punctuation,
+//!    leading-space words) so merges never cross chunk boundaries,
+//! 2. [`BpeTrainer`](train::BpeTrainer) learns a merge table from a corpus
+//!    by repeatedly fusing the most frequent adjacent symbol pair,
+//! 3. [`Tokenizer`](bpe::Tokenizer) applies the merge table greedily
+//!    (lowest merge rank first) to encode arbitrary text; decoding is the
+//!    exact inverse.
+//!
+//! Only *relative* token counts matter downstream — the 8 000-token cutoff
+//! and the box-plot statistics — so fidelity to the exact OpenAI vocabulary
+//! is not required, but the tokenizer is a real, lossless BPE.
+//!
+//! ```
+//! use pce_tokenizer::{BpeTrainer, Tokenizer};
+//!
+//! let corpus = ["__global__ void add(float* a) { a[0] += 1.0f; }"];
+//! let vocab = BpeTrainer::new(300).train(corpus.iter().copied());
+//! let tok = Tokenizer::new(vocab);
+//! let ids = tok.encode(corpus[0]);
+//! assert_eq!(tok.decode(&ids), corpus[0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bpe;
+pub mod pretokenizer;
+pub mod stats;
+pub mod train;
+
+pub use bpe::{Tokenizer, Vocab};
+pub use stats::{token_quartiles, TokenStats};
+pub use train::BpeTrainer;

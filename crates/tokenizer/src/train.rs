@@ -1,0 +1,153 @@
+//! BPE training: learn a merge table from a corpus.
+//!
+//! The trainer is the textbook algorithm: count adjacent symbol pairs over
+//! the pre-tokenized corpus (weighted by chunk frequency), repeatedly fuse
+//! the most frequent pair, re-count, stop at the target vocabulary size or
+//! when no pair repeats. Complexity is fine for our corpus sizes (a few MB
+//! of generated source) because counting works on *distinct* chunks.
+
+use std::collections::HashMap;
+
+use crate::bpe::Vocab;
+use crate::pretokenizer::pretokenize;
+
+/// BPE trainer configuration.
+#[derive(Debug, Clone)]
+pub struct BpeTrainer {
+    /// Target vocabulary size (bytes + merges); at least 256.
+    pub vocab_size: usize,
+    /// Pairs must occur at least this often to be merged.
+    pub min_frequency: u64,
+}
+
+impl BpeTrainer {
+    /// Trainer targeting `vocab_size` total tokens.
+    pub fn new(vocab_size: usize) -> Self {
+        assert!(vocab_size >= 256, "vocab must include all 256 byte tokens");
+        BpeTrainer { vocab_size, min_frequency: 2 }
+    }
+
+    /// Set the minimum pair frequency (builder style).
+    pub fn min_frequency(mut self, f: u64) -> Self {
+        self.min_frequency = f.max(1);
+        self
+    }
+
+    /// Learn a vocabulary from an iterator of documents.
+    pub fn train<'a>(&self, docs: impl IntoIterator<Item = &'a str>) -> Vocab {
+        // Distinct chunk -> frequency.
+        let mut chunk_freq: HashMap<&str, u64> = HashMap::new();
+        let mut total_chunks = 0u64;
+        let docs: Vec<&str> = docs.into_iter().collect();
+        for doc in &docs {
+            for chunk in pretokenize(doc) {
+                *chunk_freq.entry(chunk).or_insert(0) += 1;
+                total_chunks += 1;
+            }
+        }
+        let _ = total_chunks;
+
+        // Working representation: each distinct chunk as a symbol sequence.
+        let mut words: Vec<(Vec<u32>, u64)> = chunk_freq
+            .iter()
+            .map(|(chunk, &freq)| (chunk.bytes().map(|b| b as u32).collect(), freq))
+            .collect();
+        // Deterministic iteration order regardless of HashMap layout.
+        words.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut merges = Vec::with_capacity(self.vocab_size - 256);
+        while 256 + merges.len() < self.vocab_size {
+            // Count all adjacent pairs.
+            let mut pair_freq: HashMap<(u32, u32), u64> = HashMap::new();
+            for (symbols, freq) in &words {
+                for w in symbols.windows(2) {
+                    *pair_freq.entry((w[0], w[1])).or_insert(0) += freq;
+                }
+            }
+            // Deterministic argmax: highest frequency, ties by pair value.
+            let best = pair_freq
+                .iter()
+                .filter(|(_, &f)| f >= self.min_frequency)
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)));
+            let (&pair, _) = match best {
+                Some(p) => p,
+                None => break,
+            };
+            let new_id = 256 + merges.len() as u32;
+            merges.push(pair);
+
+            // Apply the merge to every word.
+            for (symbols, _) in &mut words {
+                let mut i = 0;
+                while i + 1 < symbols.len() {
+                    if symbols[i] == pair.0 && symbols[i + 1] == pair.1 {
+                        symbols[i] = new_id;
+                        symbols.remove(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        Vocab { merges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpe::Tokenizer;
+
+    #[test]
+    fn training_learns_frequent_merges_first() {
+        // 'aa' dominates: the first merge must be (a, a).
+        let docs = ["aaaa aaaa aaaa", "b"];
+        let vocab = BpeTrainer::new(260).train(docs.iter().copied());
+        assert!(!vocab.merges.is_empty());
+        assert_eq!(vocab.merges[0], (b'a' as u32, b'a' as u32));
+    }
+
+    #[test]
+    fn vocab_size_is_respected() {
+        let docs = ["the quick brown fox jumps over the lazy dog ".repeat(50)];
+        let vocab = BpeTrainer::new(300).train(docs.iter().map(|s| s.as_str()));
+        assert!(vocab.size() <= 300);
+        assert!(vocab.size() > 256, "should have learned some merges");
+    }
+
+    #[test]
+    fn min_frequency_stops_early() {
+        // Every chunk unique: nothing repeats; with min_frequency 2 no
+        // merges can be learned beyond within-chunk repetition.
+        let docs = ["abcdefg"];
+        let vocab = BpeTrainer::new(10_000)
+            .min_frequency(2)
+            .train(docs.iter().copied());
+        assert_eq!(vocab.size(), 256);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let docs = [
+            "__global__ void k(float* a) { a[0] = 1.0f; }",
+            "#pragma omp parallel for reduction(+:sum)",
+        ];
+        let a = BpeTrainer::new(400).train(docs.iter().copied());
+        let b = BpeTrainer::new(400).train(docs.iter().copied());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trained_tokenizer_round_trips_corpus() {
+        let docs = ["kernel void compute(global float* data) { data[get_global_id(0)] *= 2.0f; }"];
+        let vocab = BpeTrainer::new(500).train(docs.iter().copied());
+        let tok = Tokenizer::new(vocab);
+        assert_eq!(tok.decode(&tok.encode(docs[0])), docs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab must include")]
+    fn undersized_vocab_panics() {
+        BpeTrainer::new(100);
+    }
+}

@@ -1,0 +1,33 @@
+//! # parallel-code-estimation
+//!
+//! Umbrella crate for the Rust reproduction of *"Can Large Language Models
+//! Predict Parallel Code Performance?"* (HPDC'25). It re-exports every
+//! workspace crate under one roof so examples and downstream users can
+//! depend on a single package:
+//!
+//! * [`roofline`] — the Roofline model (hardware specs, balance points,
+//!   CB/BB classification),
+//! * [`gpu_sim`] — the deterministic GPU simulator/profiler substrate,
+//! * [`kernels`] — the HeCBench-like synthetic benchmark corpus,
+//! * [`tokenizer`] — the byte-level BPE tokenizer,
+//! * [`static_analysis`] — source-level arithmetic-intensity estimation,
+//! * [`metrics`] — accuracy / macro-F1 / MCC and statistical tests,
+//! * [`llm`] — the surrogate LLM substrate (model zoo, engines, fine-tuning),
+//! * [`prompt`] — prompt construction for RQ1–RQ3,
+//! * [`dataset`] — the profiling → labeling → pruning → balancing pipeline,
+//! * [`core`] — the experiment harness (RQ1–RQ4, Table 1, Figures 1–2).
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+#![forbid(unsafe_code)]
+
+pub use pce_core as core;
+pub use pce_dataset as dataset;
+pub use pce_gpu_sim as gpu_sim;
+pub use pce_kernels as kernels;
+pub use pce_llm as llm;
+pub use pce_metrics as metrics;
+pub use pce_prompt as prompt;
+pub use pce_roofline as roofline;
+pub use pce_static_analysis as static_analysis;
+pub use pce_tokenizer as tokenizer;

@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: roofline algebra, counters, tokenizer losslessness,
+//! metric bounds, statistics, and the memory model.
+
+use proptest::prelude::*;
+
+use parallel_code_estimation::gpu_sim::memory::coalescing_factor;
+use parallel_code_estimation::gpu_sim::AccessPattern;
+use parallel_code_estimation::metrics::{chi_squared_independence, ConfusionMatrix};
+use parallel_code_estimation::roofline::{Boundedness, OpClass, OpCounts, Roofline};
+use parallel_code_estimation::tokenizer::{token_quartiles, BpeTrainer, Tokenizer};
+
+proptest! {
+    #[test]
+    fn roofline_attainable_never_exceeds_either_bound(
+        peak in 1.0f64..1e5,
+        bw in 1.0f64..1e4,
+        ai in 1e-6f64..1e6,
+    ) {
+        let roof = Roofline::new(peak, bw);
+        let att = roof.attainable_gops(ai);
+        prop_assert!(att <= peak + 1e-9);
+        prop_assert!(att <= bw * ai + 1e-9);
+        // And it achieves one of them (the min).
+        prop_assert!((att - peak.min(bw * ai)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roofline_classification_agrees_with_balance_point(
+        peak in 1.0f64..1e5,
+        bw in 1.0f64..1e4,
+        ai in 1e-6f64..1e6,
+    ) {
+        let roof = Roofline::new(peak, bw);
+        let verdict = roof.classify(ai);
+        if ai < roof.balance_point() {
+            prop_assert_eq!(verdict, Boundedness::Bandwidth);
+        } else {
+            prop_assert_eq!(verdict, Boundedness::Compute);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_bounded_for_physical_observations(
+        peak in 1.0f64..1e5,
+        bw in 1.0f64..1e4,
+        ai in 1e-3f64..1e4,
+        frac in 0.0f64..1.0,
+    ) {
+        let roof = Roofline::new(peak, bw);
+        let achieved = roof.attainable_gops(ai) * frac;
+        let eff = roof.efficiency(ai, achieved);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&eff));
+    }
+
+    #[test]
+    fn op_counts_ai_is_scale_invariant(
+        sp in 1u64..1_000_000,
+        bytes in 1u64..1_000_000,
+        k in 1u64..1000,
+    ) {
+        let a = OpCounts { flops_sp: sp, dram_read_bytes: bytes, ..Default::default() };
+        let b = OpCounts {
+            flops_sp: sp * k,
+            dram_read_bytes: bytes * k,
+            ..Default::default()
+        };
+        let ra = a.ai(OpClass::Sp);
+        let rb = b.ai(OpClass::Sp);
+        prop_assert!((ra - rb).abs() < 1e-9 * ra.max(1.0));
+    }
+
+    #[test]
+    fn accumulate_is_commutative_and_adds_totals(
+        a_sp in 0u64..1u64 << 40, a_rd in 0u64..1u64 << 40,
+        b_sp in 0u64..1u64 << 40, b_rd in 0u64..1u64 << 40,
+    ) {
+        let a = OpCounts { flops_sp: a_sp, dram_read_bytes: a_rd, ..Default::default() };
+        let b = OpCounts { flops_sp: b_sp, dram_read_bytes: b_rd, ..Default::default() };
+        prop_assert_eq!(a.accumulate(&b), b.accumulate(&a));
+        prop_assert_eq!(a.accumulate(&b).total_ops(), a.total_ops() + b.total_ops());
+    }
+
+    #[test]
+    fn tokenizer_roundtrips_arbitrary_ascii(text in "[ -~\n\t]{0,400}") {
+        // Train on unrelated material; encode/decode must still be exact.
+        let vocab = BpeTrainer::new(400).train(["float x = a[i] * b[i]; for (int i = 0; i < n; i++)"]);
+        let tok = Tokenizer::new(vocab);
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    #[test]
+    fn tokenizer_roundtrips_unicode(text in "\\PC{0,80}") {
+        let tok = Tokenizer::new(BpeTrainer::new(300).train(["hello world"]));
+        prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    #[test]
+    fn token_count_is_subadditive_under_concatenation(
+        a in "[a-z ]{0,80}",
+        b in "[a-z ]{0,80}",
+    ) {
+        // Concatenation can only merge at the seam: count(a+b) can differ
+        // from count(a)+count(b) by at most a constant from seam effects,
+        // and is never more than 1 larger.
+        let tok = Tokenizer::new(BpeTrainer::new(350).train(["the quick brown fox jumps"]));
+        let joined = format!("{a}{b}");
+        let sum = tok.count(&a) + tok.count(&b);
+        prop_assert!(tok.count(&joined) <= sum + 1);
+    }
+
+    #[test]
+    fn confusion_metrics_stay_in_bounds(
+        tp in 0u64..500, fp in 0u64..500, tn in 0u64..500, fn_ in 0u64..500,
+    ) {
+        let cm = ConfusionMatrix { tp, fp, tn, fn_, invalid_pos: 0, invalid_neg: 0 };
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.macro_f1()));
+        prop_assert!((-1.0..=1.0).contains(&cm.mcc()));
+    }
+
+    #[test]
+    fn mcc_is_antisymmetric_under_prediction_flip(
+        tp in 0u64..200, fp in 0u64..200, tn in 0u64..200, fn_ in 0u64..200,
+    ) {
+        let cm = ConfusionMatrix { tp, fp, tn, fn_, invalid_pos: 0, invalid_neg: 0 };
+        // Flipping every *prediction* swaps tp<->fn and tn<->fp.
+        let flipped = ConfusionMatrix {
+            tp: fn_, fn_: tp, tn: fp, fp: tn,
+            invalid_pos: 0, invalid_neg: 0,
+        };
+        prop_assert!((cm.mcc() + flipped.mcc()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_p_values_are_probabilities(
+        a in 1u64..200, b in 1u64..200, c in 1u64..200, d in 1u64..200,
+    ) {
+        let r = chi_squared_independence(&[vec![a, b], vec![c, d]]).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.statistic >= 0.0);
+    }
+
+    #[test]
+    fn quartiles_are_ordered_and_within_range(counts in prop::collection::vec(0usize..100_000, 1..200)) {
+        let s = token_quartiles(&counts);
+        prop_assert!(s.min <= s.q1);
+        prop_assert!(s.q1 <= s.median);
+        prop_assert!(s.median <= s.q3);
+        prop_assert!(s.q3 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+    }
+
+    #[test]
+    fn coalescing_factor_is_bounded(
+        stride in 1u32..4096,
+        elem in prop::sample::select(vec![1u64, 2, 4, 8, 16, 32]),
+    ) {
+        for pattern in [
+            AccessPattern::Coalesced,
+            AccessPattern::Strided(stride),
+            AccessPattern::Random,
+            AccessPattern::Broadcast,
+        ] {
+            let f = coalescing_factor(pattern, elem);
+            // Bounded by one sector per lane (32B / elem) below, and the
+            // warp-broadcast saving above.
+            prop_assert!(f >= 1.0 / 32.0, "{pattern:?} {elem}: {f}");
+            prop_assert!(f <= (32.0 / elem as f64).max(1.0) + 1e-9, "{pattern:?} {elem}: {f}");
+        }
+    }
+
+    #[test]
+    fn boundedness_parse_roundtrips(b in prop::sample::select(vec![Boundedness::Compute, Boundedness::Bandwidth])) {
+        prop_assert_eq!(Boundedness::parse(b.answer_token()), Some(b));
+        prop_assert_eq!(Boundedness::parse(&b.answer_token().to_lowercase()), Some(b));
+        prop_assert_eq!(b.flipped().flipped(), b);
+    }
+}
