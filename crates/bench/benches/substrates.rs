@@ -11,7 +11,11 @@ use pce_static_analysis::{analyze, AnalyzeOptions};
 use pce_tokenizer::{BpeTrainer, Tokenizer};
 
 fn bench_profiler(c: &mut Criterion) {
-    let corpus = build_corpus(&CorpusConfig { seed: 1, cuda_programs: 32, omp_programs: 0 });
+    let corpus = build_corpus(&CorpusConfig {
+        seed: 1,
+        cuda_programs: 32,
+        omp_programs: 0,
+    });
     let profiler = Profiler::new(HardwareSpec::rtx_3080());
     let mut g = c.benchmark_group("gpu_sim");
     g.throughput(Throughput::Elements(corpus.len() as u64));
@@ -26,7 +30,11 @@ fn bench_profiler(c: &mut Criterion) {
 }
 
 fn bench_tokenizer(c: &mut Criterion) {
-    let corpus = build_corpus(&CorpusConfig { seed: 2, cuda_programs: 24, omp_programs: 0 });
+    let corpus = build_corpus(&CorpusConfig {
+        seed: 2,
+        cuda_programs: 24,
+        omp_programs: 0,
+    });
     let docs: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
     let tok = Tokenizer::new(BpeTrainer::new(800).train(docs.iter().copied()));
     let bytes: usize = docs.iter().map(|d| d.len()).sum();
@@ -52,7 +60,11 @@ fn bench_tokenizer(c: &mut Criterion) {
 }
 
 fn bench_static_analysis(c: &mut Criterion) {
-    let corpus = build_corpus(&CorpusConfig { seed: 3, cuda_programs: 16, omp_programs: 16 });
+    let corpus = build_corpus(&CorpusConfig {
+        seed: 3,
+        cuda_programs: 16,
+        omp_programs: 16,
+    });
     let opts = AnalyzeOptions::default();
     let bytes: usize = corpus.iter().map(|p| p.source.len()).sum();
     let mut g = c.benchmark_group("static_analysis");

@@ -8,7 +8,11 @@ use pce_prompt::ShotStyle;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let study = if smoke { Study::smoke() } else { Study::default() };
+    let study = if smoke {
+        Study::smoke()
+    } else {
+        Study::default()
+    };
     let data = StudyData::build(&study);
     println!(
         "dataset: {} samples (per-combo {})",

@@ -11,6 +11,15 @@ fn main() {
     let data = StudyData::build(&study);
     println!("{}", render_funnel(&data.report));
 
+    // Pre-funnel token distribution over the raw corpus, straight from
+    // the pipeline's own batch counts (no retraining).
+    if let Some(stats) = &data.report.raw_token_stats {
+        println!(
+            "Raw corpus tokens: n={} min={:.0} q1={:.0} median={:.0} q3={:.0} max={:.0} mean={:.1}",
+            stats.n, stats.min, stats.q1, stats.median, stats.q3, stats.max, stats.mean
+        );
+    }
+
     println!("Token-cutoff ablation:");
     for cutoff in [2_000usize, 4_000, 8_000, 16_000] {
         let mut cfg = study.pipeline.clone();

@@ -14,7 +14,11 @@ fn main() {
     let fig = build_fig1(&study, &data.corpus, cache);
     print!("{}", render_fig1_summary(&fig));
     let csv = render_fig1_csv(&fig);
-    let path = if cache { "fig1.csv" } else { "fig1_nocache.csv" };
+    let path = if cache {
+        "fig1.csv"
+    } else {
+        "fig1_nocache.csv"
+    };
     std::fs::write(path, &csv).expect("write fig1 csv");
     println!("wrote {path} ({} rows)", csv.lines().count() - 1);
 }

@@ -37,10 +37,7 @@ pub struct AblationPoint {
 /// we emulate it here by running the real engine on the two models that
 /// bracket each mechanism, plus interpolated synthetic specs evaluated
 /// through a local scorer mirroring the engine's classification path.
-pub fn run_capability_ablation(
-    study: &Study,
-    samples: &[Sample],
-) -> Vec<AblationPoint> {
+pub fn run_capability_ablation(study: &Study, samples: &[Sample]) -> Vec<AblationPoint> {
     let grid = [
         ("no-insight, no-reuse", 0.05, 0.0),
         ("mid-insight, no-reuse", 0.5, 0.0),
@@ -89,11 +86,7 @@ fn score_spec(study: &Study, spec: &ModelSpec, samples: &[Sample]) -> MetricBund
         .enumerate()
         .map(|(i, sample)| {
             let prompt = prompt_for_sample(study, sample, ShotStyle::ZeroShot);
-            let text = pce_llm::engine::complete_with_spec(
-                spec,
-                &prompt,
-                study.seed ^ i as u64,
-            );
+            let text = pce_llm::engine::complete_with_spec(spec, &prompt, study.seed ^ i as u64);
             let truth = sample.label == Boundedness::Compute;
             let pred = Boundedness::parse(&text).map(|b| b == Boundedness::Compute);
             (truth, pred)

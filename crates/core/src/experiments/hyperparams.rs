@@ -40,9 +40,18 @@ pub fn run_hyperparam_check(
     samples: &[Sample],
 ) -> HyperparamCheck {
     let settings = vec![
-        SamplingParams { temperature: 0.1, top_p: 0.2 },
-        SamplingParams { temperature: 0.7, top_p: 0.2 },
-        SamplingParams { temperature: 1.0, top_p: 0.95 },
+        SamplingParams {
+            temperature: 0.1,
+            top_p: 0.2,
+        },
+        SamplingParams {
+            temperature: 0.7,
+            top_p: 0.2,
+        },
+        SamplingParams {
+            temperature: 1.0,
+            top_p: 0.95,
+        },
     ];
     let table: Vec<Vec<u64>> = settings
         .iter()
@@ -68,7 +77,12 @@ pub fn run_hyperparam_check(
         .collect();
     let chi2 = chi_squared_independence(&table)
         .expect("contingency table over >= 2 settings and 2 classes");
-    HyperparamCheck { model: model.to_string(), settings, table, chi2 }
+    HyperparamCheck {
+        model: model.to_string(),
+        settings,
+        table,
+        chi2,
+    }
 }
 
 #[cfg(test)]

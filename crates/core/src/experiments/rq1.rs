@@ -90,7 +90,11 @@ mod tests {
         assert_eq!(o3.best_acc_cot, 100.0);
 
         let mini = run_rq1(&study, &engine, "gpt-4o-mini");
-        assert!(mini.best_acc >= 80.0 && mini.best_acc < 100.0, "{}", mini.best_acc);
+        assert!(
+            mini.best_acc >= 80.0 && mini.best_acc < 100.0,
+            "{}",
+            mini.best_acc
+        );
         assert!(mini.best_acc_cot >= mini.best_acc, "CoT helps the minis");
     }
 

@@ -147,7 +147,10 @@ mod tests {
         // Paired vectors align with the dataset for McNemar testing.
         assert_eq!(zero.correct.len(), few.correct.len());
         let mc = pce_metrics::mcnemar_test(&zero.correct, &few.correct);
-        assert!(!mc.significant_at(0.01), "RQ2 vs RQ3 should not differ strongly");
+        assert!(
+            !mc.significant_at(0.01),
+            "RQ2 vs RQ3 should not differ strongly"
+        );
     }
 
     #[test]

@@ -40,7 +40,13 @@ pub fn run_rq4(study: &Study, split: &Split) -> Rq4Outcome {
         .iter()
         .map(|s| (prompt_for_sample(study, s, ShotStyle::ZeroShot), s.label))
         .collect();
-    let job = FineTuneJob::new(train, FineTuneConfig { seed: study.seed, ..Default::default() });
+    let job = FineTuneJob::new(
+        train,
+        FineTuneConfig {
+            seed: study.seed,
+            ..Default::default()
+        },
+    );
     let model = job.run();
 
     let mut cm = ConfusionMatrix::new();
@@ -51,11 +57,18 @@ pub fn run_rq4(study: &Study, split: &Split) -> Rq4Outcome {
         if pred == Boundedness::Compute {
             compute_answers += 1;
         }
-        cm.record(s.label == Boundedness::Compute, pred == Boundedness::Compute);
+        cm.record(
+            s.label == Boundedness::Compute,
+            pred == Boundedness::Compute,
+        );
     }
     let n = split.validation.len().max(1);
     let concentration = compute_answers.max(n - compute_answers) as f64 / n as f64;
-    let collapsed_to = if compute_answers * 2 >= n { "Compute" } else { "Bandwidth" };
+    let collapsed_to = if compute_answers * 2 >= n {
+        "Compute"
+    } else {
+        "Bandwidth"
+    };
 
     Rq4Outcome {
         metrics: cm.bundle(),

@@ -61,7 +61,9 @@ pub struct Fig2 {
 
 /// Build Figure 2 from the train/validation split.
 pub fn build_fig2(split: &Split) -> Fig2 {
-    Fig2 { rows: fig2_stats(split) }
+    Fig2 {
+        rows: fig2_stats(split),
+    }
 }
 
 #[cfg(test)]
@@ -75,8 +77,16 @@ mod tests {
         let data = StudyData::build(&study);
         let fig = build_fig1(&study, &data.corpus, true);
         // §2.1: "the majority of the SP-FLOP and INT samples are BB".
-        assert!(fig.sp_bb_fraction > 0.5, "SP BB fraction {}", fig.sp_bb_fraction);
-        assert!(fig.int_bb_fraction > 0.5, "INT BB fraction {}", fig.int_bb_fraction);
+        assert!(
+            fig.sp_bb_fraction > 0.5,
+            "SP BB fraction {}",
+            fig.sp_bb_fraction
+        );
+        assert!(
+            fig.int_bb_fraction > 0.5,
+            "INT BB fraction {}",
+            fig.int_bb_fraction
+        );
         assert_eq!(fig.plot.curves.len(), 3);
         assert!(!fig.plot.scatter.is_empty());
     }

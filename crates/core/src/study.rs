@@ -29,7 +29,10 @@ impl Default for Study {
         Study {
             hardware: hardware.clone(),
             corpus: CorpusConfig::default(),
-            pipeline: PipelineConfig { hardware, ..Default::default() },
+            pipeline: PipelineConfig {
+                hardware,
+                ..Default::default()
+            },
             rq1_rooflines: 240,
             seed: 0x9f0f_11e5,
         }
@@ -41,12 +44,18 @@ impl Study {
     /// smaller balanced cells, fewer RQ1 rooflines. The *structure* of the
     /// experiments is identical.
     pub fn smoke() -> Self {
-        let mut study = Study::default();
-        study.corpus = CorpusConfig { seed: 7, cuda_programs: 120, omp_programs: 90 };
+        let mut study = Study {
+            corpus: CorpusConfig {
+                seed: 7,
+                cuda_programs: 120,
+                omp_programs: 90,
+            },
+            rq1_rooflines: 40,
+            ..Study::default()
+        };
         study.pipeline.per_combo_cap = 15;
         study.pipeline.tokenizer_vocab = 500;
         study.pipeline.tokenizer_stride = 13;
-        study.rq1_rooflines = 40;
         study
     }
 }
@@ -69,7 +78,12 @@ impl StudyData {
     pub fn build(study: &Study) -> StudyData {
         let corpus = build_corpus(&study.corpus);
         let (dataset, split, report) = run_pipeline(&corpus, &study.pipeline);
-        StudyData { corpus, dataset, split, report }
+        StudyData {
+            corpus,
+            dataset,
+            split,
+            report,
+        }
     }
 }
 

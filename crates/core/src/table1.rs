@@ -84,7 +84,10 @@ pub fn build_table1(study: &Study, data: &StudyData) -> Table1 {
         let key = |r: &Table1Row| (r.rq1_acc.unwrap_or(0.0), r.rq2.accuracy);
         key(b).partial_cmp(&key(a)).unwrap()
     });
-    Table1 { rows, total_cost: engine.meter().total_cost() }
+    Table1 {
+        rows,
+        total_cost: engine.meter().total_cost(),
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +128,11 @@ mod tests {
         // Reasoning models outclass non-reasoning on zero-shot accuracy
         // (group means, as in §3.5).
         let mean = |reasoning: bool| {
-            let rows: Vec<_> = table.rows.iter().filter(|r| r.reasoning == reasoning).collect();
+            let rows: Vec<_> = table
+                .rows
+                .iter()
+                .filter(|r| r.reasoning == reasoning)
+                .collect();
             rows.iter().map(|r| r.rq2.accuracy).sum::<f64>() / rows.len() as f64
         };
         assert!(

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use pce_gpu_sim::Profiler;
 use pce_kernels::{Language, Program};
 use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
-use pce_tokenizer::{BpeTrainer, Tokenizer};
+use pce_tokenizer::{token_quartiles, BpeTrainer, TokenStats, Tokenizer};
 
 use crate::sample::Sample;
 
@@ -90,6 +90,11 @@ pub struct Split {
 pub struct PipelineReport {
     /// Programs profiled, per language.
     pub built: BTreeMap<String, usize>,
+    /// Token-count distribution over the *raw* corpus, before the cutoff
+    /// prune (`None` only for an empty corpus). Reuses the pipeline's own
+    /// batch token counts, so consumers (e.g. the `dataset_stats` bin)
+    /// don't retrain a tokenizer to see the pre-funnel view.
+    pub raw_token_stats: Option<TokenStats>,
     /// Programs surviving the token cutoff, per language.
     pub after_prune: BTreeMap<String, usize>,
     /// Counts per (language, class) cell before balancing.
@@ -118,11 +123,17 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
     let vocab = BpeTrainer::new(cfg.tokenizer_vocab).train(training_docs);
     let tokenizer = Tokenizer::new(vocab);
 
-    // --- Profile + label + token-count (parallel) -----------------------
+    // --- Token-count every source (batch, shared chunk cache) -----------
+    let sources: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
+    let token_counts = tokenizer.count_batch(&sources);
+    let raw_token_stats = (!token_counts.is_empty()).then(|| token_quartiles(&token_counts));
+
+    // --- Profile + label (parallel) --------------------------------------
     let profiler = Profiler::new(cfg.hardware.clone());
     let mut samples: Vec<Sample> = corpus
         .par_iter()
-        .map(|p| {
+        .enumerate()
+        .map(|(i, p)| {
             let profile = profiler.profile(&p.ir, &p.launch);
             let label = classify_joint(&cfg.hardware, &profile.counts).label;
             Sample {
@@ -133,7 +144,7 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
                 source: p.source.clone(),
                 geometry: p.launch.geometry_string(),
                 args: p.args.clone(),
-                token_count: tokenizer.count(&p.source),
+                token_count: token_counts[i],
                 counts: profile.counts,
                 runtime_s: profile.runtime_s,
                 label,
@@ -172,25 +183,23 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
     }
     let combo_before_balance = by_combo
         .iter()
-        .map(|((lang, label), v)| {
-            (format!("{}/{}", lang.label(), label.short()), v.len())
-        })
+        .map(|((lang, label), v)| (format!("{}/{}", lang.label(), label.short()), v.len()))
         .collect();
     let min_cell = by_combo.values().map(|v| v.len()).min().unwrap_or(0);
     let per_combo = min_cell.min(cfg.per_combo_cap);
 
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut balanced = Vec::with_capacity(per_combo * 4);
-    let mut train = Vec::new();
-    let mut validation = Vec::new();
+    let mut train = Vec::with_capacity(per_combo * 4);
+    let mut validation = Vec::with_capacity(per_combo * 4);
     for (_, mut cell) in by_combo {
         cell.shuffle(&mut rng);
         cell.truncate(per_combo);
         // Split inside each cell so both splits stay balanced (§2.2: 68
-        // train + 17 validation per cell).
+        // train + 17 validation per cell). Samples are *moved* into their
+        // split here; the balanced union is materialised afterwards with
+        // exactly one deep clone per sample.
         let train_n = (per_combo as f64 * cfg.train_fraction).round() as usize;
         for (i, s) in cell.into_iter().enumerate() {
-            balanced.push(s.clone());
             if i < train_n {
                 train.push(s);
             } else {
@@ -199,12 +208,28 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
         }
     }
     // Deterministic final ordering.
-    balanced.sort_by(|a, b| a.id.cmp(&b.id));
     train.sort_by(|a, b| a.id.cmp(&b.id));
     validation.sort_by(|a, b| a.id.cmp(&b.id));
+    // Balanced dataset = sorted merge of the two (already sorted) splits:
+    // one bulk clone pass, no re-sort.
+    let mut balanced = Vec::with_capacity(train.len() + validation.len());
+    {
+        let (mut t, mut v) = (train.iter().peekable(), validation.iter().peekable());
+        loop {
+            let take_train = match (t.peek(), v.peek()) {
+                (Some(a), Some(b)) => a.id <= b.id,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let next = if take_train { t.next() } else { v.next() };
+            balanced.push(next.expect("peeked element exists").clone());
+        }
+    }
 
     let report = PipelineReport {
         built,
+        raw_token_stats,
         after_prune,
         combo_before_balance,
         per_combo,
@@ -214,7 +239,12 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
     };
     (
         Dataset { samples: balanced },
-        Split { train: Dataset { samples: train }, validation: Dataset { samples: validation } },
+        Split {
+            train: Dataset { samples: train },
+            validation: Dataset {
+                samples: validation,
+            },
+        },
         report,
     )
 }
@@ -225,7 +255,11 @@ mod tests {
     use pce_kernels::{build_corpus, CorpusConfig};
 
     fn small_corpus() -> Vec<Program> {
-        build_corpus(&CorpusConfig { seed: 3, cuda_programs: 90, omp_programs: 72 })
+        build_corpus(&CorpusConfig {
+            seed: 3,
+            cuda_programs: 90,
+            omp_programs: 72,
+        })
     }
 
     fn cfg() -> PipelineConfig {
@@ -246,7 +280,10 @@ mod tests {
         }
         assert_eq!(cells.len(), 4, "all four cells populated: {cells:?}");
         let sizes: Vec<_> = cells.values().copied().collect();
-        assert!(sizes.iter().all(|&n| n == sizes[0]), "unbalanced: {cells:?}");
+        assert!(
+            sizes.iter().all(|&n| n == sizes[0]),
+            "unbalanced: {cells:?}"
+        );
         assert_eq!(report.final_size, sizes[0] * 4);
     }
 
@@ -317,7 +354,12 @@ mod tests {
             assert_eq!(a.label, b.label);
             assert_eq!(a.token_count, b.token_count);
             let rel = (a.runtime_s - b.runtime_s).abs() / a.runtime_s;
-            assert!(rel < 1e-12, "runtime drifted: {} vs {}", a.runtime_s, b.runtime_s);
+            assert!(
+                rel < 1e-12,
+                "runtime drifted: {} vs {}",
+                a.runtime_s,
+                b.runtime_s
+            );
         }
         assert!(Dataset::from_json("not json").is_err());
     }
@@ -328,7 +370,11 @@ mod tests {
         let train_ids: std::collections::BTreeSet<_> =
             split.train.samples.iter().map(|s| &s.id).collect();
         for s in &split.validation.samples {
-            assert!(!train_ids.contains(&s.id), "{} leaked into both splits", s.id);
+            assert!(
+                !train_ids.contains(&s.id),
+                "{} leaked into both splits",
+                s.id
+            );
         }
     }
 }

@@ -28,9 +28,7 @@ pub struct Fig2Row {
 /// Compute the eight Figure-2 rows (2 splits × 2 languages × 2 classes).
 pub fn fig2_stats(split: &Split) -> Vec<Fig2Row> {
     let mut rows = Vec::with_capacity(8);
-    for (split_name, ds) in
-        [("train", &split.train), ("validation", &split.validation)]
-    {
+    for (split_name, ds) in [("train", &split.train), ("validation", &split.validation)] {
         for lang in [Language::Cuda, Language::Omp] {
             for label in [Boundedness::Compute, Boundedness::Bandwidth] {
                 let counts: Vec<usize> = ds
@@ -71,8 +69,11 @@ mod tests {
     use pce_kernels::{build_corpus, CorpusConfig};
 
     fn split() -> Split {
-        let corpus =
-            build_corpus(&CorpusConfig { seed: 5, cuda_programs: 90, omp_programs: 72 });
+        let corpus = build_corpus(&CorpusConfig {
+            seed: 5,
+            cuda_programs: 90,
+            omp_programs: 72,
+        });
         let cfg = PipelineConfig {
             per_combo_cap: 10,
             tokenizer_vocab: 400,
@@ -107,5 +108,34 @@ mod tests {
         let total: usize = counts.values().sum();
         assert_eq!(total, sp.train.len());
         assert_eq!(counts.len(), 4);
+    }
+
+    #[test]
+    fn report_raw_token_stats_matches_sequential_counts() {
+        use crate::pipeline::run_pipeline;
+        use pce_tokenizer::{BpeTrainer, Tokenizer};
+        let corpus = build_corpus(&CorpusConfig {
+            seed: 5,
+            cuda_programs: 20,
+            omp_programs: 12,
+        });
+        let cfg = PipelineConfig {
+            per_combo_cap: 4,
+            tokenizer_vocab: 400,
+            tokenizer_stride: 15,
+            ..Default::default()
+        };
+        let (_, _, report) = run_pipeline(&corpus, &cfg);
+        let stats = report.raw_token_stats.expect("non-empty corpus");
+        assert_eq!(stats.n, corpus.len());
+        // Recompute with a sequentially-driven tokenizer: must agree.
+        let docs: Vec<&str> = corpus
+            .iter()
+            .step_by(cfg.tokenizer_stride)
+            .map(|p| p.source.as_str())
+            .collect();
+        let tok = Tokenizer::new(BpeTrainer::new(cfg.tokenizer_vocab).train(docs));
+        let counts: Vec<usize> = corpus.iter().map(|p| tok.count(&p.source)).collect();
+        assert_eq!(stats, pce_tokenizer::token_quartiles(&counts));
     }
 }

@@ -158,12 +158,20 @@ pub enum Op {
 impl Op {
     /// Shorthand: coalesced/strided/random load of `buffer`.
     pub fn load(buffer: &str, pattern: AccessPattern) -> Op {
-        Op::Mem { buffer: buffer.to_string(), dir: Dir::Read, pattern }
+        Op::Mem {
+            buffer: buffer.to_string(),
+            dir: Dir::Read,
+            pattern,
+        }
     }
 
     /// Shorthand: store to `buffer`.
     pub fn store(buffer: &str, pattern: AccessPattern) -> Op {
-        Op::Mem { buffer: buffer.to_string(), dir: Dir::Write, pattern }
+        Op::Mem {
+            buffer: buffer.to_string(),
+            dir: Dir::Write,
+            pattern,
+        }
     }
 
     /// Shorthand: one FLOP.
@@ -295,10 +303,9 @@ impl KernelIr {
         fn walk(ops: &[Op], kernel: &KernelIr, problems: &mut Vec<String>) {
             for op in ops {
                 match op {
-                    Op::Mem { buffer, .. }
-                        if kernel.buffer(buffer).is_none() => {
-                            problems.push(format!("access to undeclared buffer '{buffer}'"));
-                        }
+                    Op::Mem { buffer, .. } if kernel.buffer(buffer).is_none() => {
+                        problems.push(format!("access to undeclared buffer '{buffer}'"));
+                    }
                     Op::Loop { body, .. } => walk(body, kernel, problems),
                     Op::Guard { fraction, body } => {
                         if !(0.0..=1.0).contains(fraction) {
@@ -337,7 +344,11 @@ impl KernelIr {
     ) -> (f64, f64, f64) {
         let s = self.summarize(params);
         let t = total_threads as f64;
-        (s.costs.flops_sp * t, s.costs.flops_dp * t, s.costs.intops * t)
+        (
+            s.costs.flops_sp * t,
+            s.costs.flops_dp * t,
+            s.costs.intops * t,
+        )
     }
 }
 
@@ -400,13 +411,18 @@ fn fold(
                         IntKind::Div => 8.0,
                     };
             }
-            Op::Mem { buffer, dir, pattern } => {
+            Op::Mem {
+                buffer,
+                dir,
+                pattern,
+            } => {
                 // Address arithmetic implied by the access: one int op.
                 costs.intops += weight;
                 costs.inst_int += weight;
-                if let Some(existing) = demands.iter_mut().find(|d| {
-                    d.buffer == *buffer && d.dir == *dir && d.pattern == *pattern
-                }) {
+                if let Some(existing) = demands
+                    .iter_mut()
+                    .find(|d| d.buffer == *buffer && d.dir == *dir && d.pattern == *pattern)
+                {
                     existing.accesses_per_thread += weight;
                 } else {
                     demands.push(MemDemand {
@@ -445,7 +461,11 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Declare a buffer of `elem_bytes`-sized elements with length `len`.
     pub fn buffer(mut self, name: &str, elem_bytes: u64, len: Extent) -> Self {
-        self.buffers.push(BufferDecl { name: name.to_string(), elem_bytes, len });
+        self.buffers.push(BufferDecl {
+            name: name.to_string(),
+            elem_bytes,
+            len,
+        });
         self
     }
 
@@ -523,7 +543,10 @@ mod tests {
             .buffer("a", 8, Extent::Param("n".into()))
             .op(Op::loop_n(
                 Extent::Const(10),
-                vec![Op::fma(Precision::F64), Op::load("a", AccessPattern::Coalesced)],
+                vec![
+                    Op::fma(Precision::F64),
+                    Op::load("a", AccessPattern::Coalesced),
+                ],
             ))
             .build();
         let s = k.summarize(&params(1));
@@ -546,7 +569,10 @@ mod tests {
     #[test]
     fn param_trip_counts_resolve_from_launch() {
         let k = KernelIr::builder("param")
-            .op(Op::loop_n(Extent::Param("iters".into()), vec![Op::int(IntKind::Simple)]))
+            .op(Op::loop_n(
+                Extent::Param("iters".into()),
+                vec![Op::int(IntKind::Simple)],
+            ))
             .build();
         let mut p = BTreeMap::new();
         p.insert("iters".to_string(), 7);
@@ -635,7 +661,10 @@ mod tests {
             buffers: vec![],
             body: vec![
                 Op::load("ghost", AccessPattern::Coalesced),
-                Op::Guard { fraction: 2.0, body: vec![] },
+                Op::Guard {
+                    fraction: 2.0,
+                    body: vec![],
+                },
             ],
             active_fraction: -0.5,
         };

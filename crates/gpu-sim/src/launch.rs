@@ -75,10 +75,7 @@ impl LaunchConfig {
     pub fn plane(nx: u64, ny: u64, bx: u32, by: u32) -> LaunchConfig {
         assert!(bx > 0 && by > 0 && bx * by <= 1024, "bad block shape");
         LaunchConfig {
-            grid: Dim3::plane(
-                nx.div_ceil(bx as u64) as u32,
-                ny.div_ceil(by as u64) as u32,
-            ),
+            grid: Dim3::plane(nx.div_ceil(bx as u64) as u32, ny.div_ceil(by as u64) as u32),
             block: Dim3::plane(bx, by),
             params: BTreeMap::new(),
             regs_per_thread: 40,
@@ -141,8 +138,7 @@ impl LaunchConfig {
         let blocks = blocks_by_warps
             .min(blocks_by_regs)
             .min(blocks_by_shared)
-            .min(MAX_BLOCKS_PER_SM)
-            .max(1.0);
+            .clamp(1.0, MAX_BLOCKS_PER_SM);
         ((blocks * warps_per_block) / MAX_WARPS_PER_SM).min(1.0)
     }
 
@@ -217,7 +213,10 @@ mod tests {
     #[test]
     fn wave_efficiency_penalizes_tiny_grids() {
         let hw = HardwareSpec::rtx_3080();
-        let tiny = LaunchConfig { grid: Dim3::linear(10), ..LaunchConfig::linear(2560, 256) };
+        let tiny = LaunchConfig {
+            grid: Dim3::linear(10),
+            ..LaunchConfig::linear(2560, 256)
+        };
         assert!(tiny.wave_efficiency(&hw) < 0.2);
         let deep = LaunchConfig::linear(1 << 22, 256);
         assert_eq!(deep.wave_efficiency(&hw), 1.0);
@@ -231,7 +230,9 @@ mod tests {
 
     #[test]
     fn params_round_trip() {
-        let lc = LaunchConfig::linear(100, 32).with_param("n", 100).with_param("iters", 5);
+        let lc = LaunchConfig::linear(100, 32)
+            .with_param("n", 100)
+            .with_param("iters", 5);
         assert_eq!(lc.params["n"], 100);
         assert_eq!(lc.params["iters"], 5);
     }

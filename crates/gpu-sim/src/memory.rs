@@ -177,7 +177,11 @@ pub fn resolve_memory(
             weight_acc += moved;
         }
 
-        let locality = if weight_acc > 0.0 { locality_acc / weight_acc } else { 0.0 };
+        let locality = if weight_acc > 0.0 {
+            locality_acc / weight_acc
+        } else {
+            0.0
+        };
 
         // --- Read side ---
         let compulsory = footprint.min(sectored_read);

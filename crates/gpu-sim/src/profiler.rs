@@ -94,7 +94,10 @@ pub struct Profiler {
 impl Profiler {
     /// Create a profiler for the given hardware.
     pub fn new(hw: HardwareSpec) -> Self {
-        Profiler { hw, cache_enabled: true }
+        Profiler {
+            hw,
+            cache_enabled: true,
+        }
     }
 
     /// Disable the L2 model (ablation).
@@ -140,13 +143,8 @@ impl Profiler {
     }
 
     /// Profile a batch of launches in parallel (rayon).
-    pub fn profile_batch(
-        &self,
-        jobs: &[(KernelIr, LaunchConfig)],
-    ) -> Vec<KernelProfile> {
-        jobs.par_iter()
-            .map(|(k, lc)| self.profile(k, lc))
-            .collect()
+    pub fn profile_batch(&self, jobs: &[(KernelIr, LaunchConfig)]) -> Vec<KernelProfile> {
+        jobs.par_iter().map(|(k, lc)| self.profile(k, lc)).collect()
     }
 }
 

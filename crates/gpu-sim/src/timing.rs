@@ -94,8 +94,7 @@ pub fn estimate_runtime(
     // SFU throughput is 1/4 of FP32 issue on Ampere-class parts.
     let sfu_ips = fp32_ips / 4.0;
     // Shared memory: ~1 access/cycle/warp-lane across the chip.
-    let shared_aps =
-        hw.num_sms as f64 * 32.0 * hw.core_clock_mhz * 1e6;
+    let shared_aps = hw.num_sms as f64 * 32.0 * hw.core_clock_mhz * 1e6;
 
     let eff = issue_eff.max(1e-3);
     let t_fp32 = costs.inst_fp32 * div_inflation * threads / (fp32_ips * eff);
@@ -109,9 +108,11 @@ pub fn estimate_runtime(
 
     // Latency exposure from barriers: each sync drains the pipeline once
     // per block wave (~600 cycles), hidden proportionally by occupancy.
-    let waves = (launch.grid.count() as f64 / hw.num_sms as f64).ceil().max(1.0);
-    let t_latency = costs.syncs * waves * 600.0 / (hw.core_clock_mhz * 1e6)
-        * (1.0 - 0.8 * occupancy).max(0.05);
+    let waves = (launch.grid.count() as f64 / hw.num_sms as f64)
+        .ceil()
+        .max(1.0);
+    let t_latency =
+        costs.syncs * waves * 600.0 / (hw.core_clock_mhz * 1e6) * (1.0 - 0.8 * occupancy).max(0.05);
 
     let body = t_fp32
         .max(t_fp64)
@@ -169,7 +170,11 @@ mod tests {
         let t = run(&k, &lc);
         assert_eq!(t.bottleneck(), "dram");
         // 256 MB at ~700 GB/s -> a few hundred microseconds.
-        assert!(t.runtime_s > 1e-4 && t.runtime_s < 1e-2, "runtime {}", t.runtime_s);
+        assert!(
+            t.runtime_s > 1e-4 && t.runtime_s < 1e-2,
+            "runtime {}",
+            t.runtime_s
+        );
     }
 
     #[test]
@@ -177,7 +182,10 @@ mod tests {
         let n = 1_000_000u64;
         let k = KernelIr::builder("mandel")
             .buffer("out", 4, Extent::Param("n".into()))
-            .op(Op::loop_n(Extent::Const(5000), vec![Op::fma(Precision::F32)]))
+            .op(Op::loop_n(
+                Extent::Const(5000),
+                vec![Op::fma(Precision::F32)],
+            ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
         let lc = LaunchConfig::linear(n, 256).with_param("n", n);
@@ -190,7 +198,10 @@ mod tests {
         let n = 1_000_000u64;
         let k = KernelIr::builder("dpstress")
             .buffer("out", 8, Extent::Param("n".into()))
-            .op(Op::loop_n(Extent::Const(200), vec![Op::fma(Precision::F64)]))
+            .op(Op::loop_n(
+                Extent::Const(200),
+                vec![Op::fma(Precision::F64)],
+            ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
         let lc = LaunchConfig::linear(n, 256).with_param("n", n);
@@ -202,7 +213,9 @@ mod tests {
 
     #[test]
     fn runtime_includes_launch_overhead_floor() {
-        let k = KernelIr::builder("tiny").op(Op::flop(Precision::F32)).build();
+        let k = KernelIr::builder("tiny")
+            .op(Op::flop(Precision::F32))
+            .build();
         let lc = LaunchConfig::linear(32, 32);
         let t = run(&k, &lc);
         assert!(t.runtime_s >= LAUNCH_OVERHEAD_S);
@@ -213,7 +226,10 @@ mod tests {
         let n = 4_000_000u64;
         let k = KernelIr::builder("peak")
             .buffer("out", 4, Extent::Param("n".into()))
-            .op(Op::loop_n(Extent::Const(1000), vec![Op::fma(Precision::F32)]))
+            .op(Op::loop_n(
+                Extent::Const(1000),
+                vec![Op::fma(Precision::F32)],
+            ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
         let lc = LaunchConfig::linear(n, 256).with_param("n", n);
@@ -230,12 +246,19 @@ mod tests {
         let body = || {
             KernelIr::builder("occ")
                 .buffer("out", 4, Extent::Param("n".into()))
-                .op(Op::loop_n(Extent::Const(500), vec![Op::fma(Precision::F32)]))
+                .op(Op::loop_n(
+                    Extent::Const(500),
+                    vec![Op::fma(Precision::F32)],
+                ))
                 .op(Op::store("out", AccessPattern::Coalesced))
                 .build()
         };
-        let good = LaunchConfig::linear(n, 256).with_param("n", n).with_regs(32);
-        let bad = LaunchConfig::linear(n, 256).with_param("n", n).with_regs(255);
+        let good = LaunchConfig::linear(n, 256)
+            .with_param("n", n)
+            .with_regs(32);
+        let bad = LaunchConfig::linear(n, 256)
+            .with_param("n", n)
+            .with_regs(255);
         let tg = run(&body(), &good);
         let tb = run(&body(), &bad);
         assert!(tb.runtime_s > tg.runtime_s);
@@ -247,7 +270,10 @@ mod tests {
         let k = KernelIr::builder("barrier")
             .ops((0..50).map(|_| Op::Sync))
             .build();
-        let lc = LaunchConfig { regs_per_thread: 200, ..LaunchConfig::linear(2048, 64) };
+        let lc = LaunchConfig {
+            regs_per_thread: 200,
+            ..LaunchConfig::linear(2048, 64)
+        };
         let t = run(&k, &lc);
         assert!(t.t_latency > 0.0);
     }

@@ -46,7 +46,11 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { seed: 0x5eed_c0de, cuda_programs: 446, omp_programs: 303 }
+        CorpusConfig {
+            seed: 0x5eed_c0de,
+            cuda_programs: 446,
+            omp_programs: 303,
+        }
     }
 }
 
@@ -174,7 +178,12 @@ fn sample_input(seed: u64, lang: Language, family: &str, index: usize) -> Family
         _ => 3,
     };
 
-    FamilyInput { n, iters, precision, verbosity }
+    FamilyInput {
+        n,
+        iters,
+        precision,
+        verbosity,
+    }
 }
 
 #[cfg(test)]
@@ -182,15 +191,31 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> CorpusConfig {
-        CorpusConfig { seed: 42, cuda_programs: 60, omp_programs: 48 }
+        CorpusConfig {
+            seed: 42,
+            cuda_programs: 60,
+            omp_programs: 48,
+        }
     }
 
     #[test]
     fn corpus_has_requested_counts_per_language() {
         let corpus = build_corpus(&small_cfg());
         assert_eq!(corpus.len(), 108);
-        assert_eq!(corpus.iter().filter(|p| p.language == Language::Cuda).count(), 60);
-        assert_eq!(corpus.iter().filter(|p| p.language == Language::Omp).count(), 48);
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|p| p.language == Language::Cuda)
+                .count(),
+            60
+        );
+        assert_eq!(
+            corpus
+                .iter()
+                .filter(|p| p.language == Language::Omp)
+                .count(),
+            48
+        );
     }
 
     #[test]
@@ -203,7 +228,10 @@ mod tests {
     #[test]
     fn different_seeds_give_different_corpora() {
         let a = build_corpus(&small_cfg());
-        let b = build_corpus(&CorpusConfig { seed: 43, ..small_cfg() });
+        let b = build_corpus(&CorpusConfig {
+            seed: 43,
+            ..small_cfg()
+        });
         assert_ne!(a, b);
     }
 
@@ -260,7 +288,11 @@ mod tests {
 
     #[test]
     fn programs_serde_round_trip() {
-        let corpus = build_corpus(&CorpusConfig { seed: 1, cuda_programs: 2, omp_programs: 1 });
+        let corpus = build_corpus(&CorpusConfig {
+            seed: 1,
+            cuda_programs: 2,
+            omp_programs: 1,
+        });
         let json = serde_json::to_string(&corpus).unwrap();
         let back: Vec<Program> = serde_json::from_str(&json).unwrap();
         assert_eq!(corpus, back);

@@ -11,15 +11,51 @@ use super::{guard_fraction, linear_launch, Family, FamilyInput, Variant};
 /// The compute-heavy family set.
 pub fn families() -> Vec<Family> {
     vec![
-        Family { name: "mandelbrot", has_omp: true, build: mandelbrot },
-        Family { name: "nbody", has_omp: true, build: nbody },
-        Family { name: "blackscholes", has_omp: true, build: blackscholes },
-        Family { name: "montecarlo", has_omp: true, build: montecarlo },
-        Family { name: "hashcrypt", has_omp: false, build: hashcrypt },
-        Family { name: "polyeval", has_omp: true, build: polyeval },
-        Family { name: "gelu", has_omp: true, build: gelu },
-        Family { name: "rngstream", has_omp: true, build: rngstream },
-        Family { name: "matexp", has_omp: false, build: matexp },
+        Family {
+            name: "mandelbrot",
+            has_omp: true,
+            build: mandelbrot,
+        },
+        Family {
+            name: "nbody",
+            has_omp: true,
+            build: nbody,
+        },
+        Family {
+            name: "blackscholes",
+            has_omp: true,
+            build: blackscholes,
+        },
+        Family {
+            name: "montecarlo",
+            has_omp: true,
+            build: montecarlo,
+        },
+        Family {
+            name: "hashcrypt",
+            has_omp: false,
+            build: hashcrypt,
+        },
+        Family {
+            name: "polyeval",
+            has_omp: true,
+            build: polyeval,
+        },
+        Family {
+            name: "gelu",
+            has_omp: true,
+            build: gelu,
+        },
+        Family {
+            name: "rngstream",
+            has_omp: true,
+            build: rngstream,
+        },
+        Family {
+            name: "matexp",
+            has_omp: false,
+            build: matexp,
+        },
     ]
 }
 
@@ -54,7 +90,15 @@ fn package(
         };
         assemble_omp(&omp_parts, input.verb())
     });
-    Variant { family, kernel_name: kernel_name.to_string(), ir, launch, cuda, omp, args }
+    Variant {
+        family,
+        kernel_name: kernel_name.to_string(),
+        ir,
+        launch,
+        cuda,
+        omp,
+        args,
+    }
 }
 
 fn mandelbrot(input: &FamilyInput) -> Variant {
@@ -408,7 +452,10 @@ fn polyeval(input: &FamilyInput) -> Variant {
         .op(Op::load("x", AccessPattern::Coalesced))
         .op(Op::loop_n(
             Extent::Param("degree".into()),
-            vec![Op::load("coef", AccessPattern::Broadcast), Op::Fma(input.precision)],
+            vec![
+                Op::load("coef", AccessPattern::Broadcast),
+                Op::Fma(input.precision),
+            ],
         ))
         .op(Op::store("y", AccessPattern::Coalesced))
         .guard_fraction(guard_fraction(input, &launch))
@@ -492,7 +539,10 @@ fn gelu(input: &FamilyInput) -> Variant {
              \x20   y[i] = {half} * v * ({one} + {tanhf}(inner));\n\
              \x20 }}\n"
         )),
-        vec![("x".into(), t.into(), "n".into()), ("y".into(), t.into(), "n".into())],
+        vec![
+            ("x".into(), t.into(), "n".into()),
+            ("y".into(), t.into(), "n".into()),
+        ],
         vec![("n".into(), "long".into(), format!("{}", input.n))],
         vec![input.n.to_string()],
         ir,
@@ -506,7 +556,11 @@ fn rngstream(input: &FamilyInput) -> Variant {
         .buffer("out", 4, Extent::Param("n".into()))
         .op(Op::loop_n(
             Extent::Param("iters".into()),
-            vec![Op::int(IntKind::Mul), Op::int(IntKind::Simple), Op::int(IntKind::Simple)],
+            vec![
+                Op::int(IntKind::Mul),
+                Op::int(IntKind::Simple),
+                Op::int(IntKind::Simple),
+            ],
         ))
         .op(Op::store("out", AccessPattern::Coalesced))
         .guard_fraction(guard_fraction(input, &launch))
@@ -615,14 +669,24 @@ mod tests {
     use pce_roofline::{classify_joint, Boundedness, HardwareSpec, OpClass};
 
     fn input(n: u64, iters: u64) -> FamilyInput {
-        FamilyInput { n, iters, precision: Precision::F32, verbosity: 1 }
+        FamilyInput {
+            n,
+            iters,
+            precision: Precision::F32,
+            verbosity: 1,
+        }
     }
 
     #[test]
     fn iteration_heavy_kernels_profile_compute_bound() {
         let hw = HardwareSpec::rtx_3080();
         let prof = Profiler::new(hw.clone());
-        for build in [mandelbrot as fn(&FamilyInput) -> Variant, montecarlo, hashcrypt, matexp] {
+        for build in [
+            mandelbrot as fn(&FamilyInput) -> Variant,
+            montecarlo,
+            hashcrypt,
+            matexp,
+        ] {
             let v = build(&input(1 << 20, 500));
             let p = prof.profile(&v.ir, &v.launch);
             assert_eq!(
@@ -680,7 +744,10 @@ mod tests {
     #[test]
     fn blackscholes_dp_is_compute_bound_on_3080() {
         let hw = HardwareSpec::rtx_3080();
-        let dp = FamilyInput { precision: Precision::F64, ..input(1 << 24, 1) };
+        let dp = FamilyInput {
+            precision: Precision::F64,
+            ..input(1 << 24, 1)
+        };
         let v = blackscholes(&dp);
         let p = Profiler::new(hw.clone()).profile(&v.ir, &v.launch);
         assert_eq!(classify_joint(&hw, &p.counts).label, Boundedness::Compute);
@@ -694,8 +761,14 @@ mod tests {
         let high = polyeval(&input(1 << 24, 512));
         let p_low = prof.profile(&low.ir, &low.launch);
         let p_high = prof.profile(&high.ir, &high.launch);
-        assert_eq!(classify_joint(&hw, &p_low.counts).label, Boundedness::Bandwidth);
-        assert_eq!(classify_joint(&hw, &p_high.counts).label, Boundedness::Compute);
+        assert_eq!(
+            classify_joint(&hw, &p_low.counts).label,
+            Boundedness::Bandwidth
+        );
+        assert_eq!(
+            classify_joint(&hw, &p_high.counts).label,
+            Boundedness::Compute
+        );
     }
 
     #[test]

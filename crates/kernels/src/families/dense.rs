@@ -11,15 +11,51 @@ use super::{Family, FamilyInput, Variant};
 /// The dense/structured family set.
 pub fn families() -> Vec<Family> {
     vec![
-        Family { name: "gemm", has_omp: true, build: gemm },
-        Family { name: "gemm_tiled", has_omp: false, build: gemm_tiled },
-        Family { name: "gemv", has_omp: true, build: gemv },
-        Family { name: "stencil2d", has_omp: true, build: stencil2d },
-        Family { name: "stencil3d", has_omp: false, build: stencil3d },
-        Family { name: "jacobi2d", has_omp: true, build: jacobi2d },
-        Family { name: "conv2d", has_omp: true, build: conv2d },
-        Family { name: "softmax", has_omp: true, build: softmax },
-        Family { name: "layernorm", has_omp: true, build: layernorm },
+        Family {
+            name: "gemm",
+            has_omp: true,
+            build: gemm,
+        },
+        Family {
+            name: "gemm_tiled",
+            has_omp: false,
+            build: gemm_tiled,
+        },
+        Family {
+            name: "gemv",
+            has_omp: true,
+            build: gemv,
+        },
+        Family {
+            name: "stencil2d",
+            has_omp: true,
+            build: stencil2d,
+        },
+        Family {
+            name: "stencil3d",
+            has_omp: false,
+            build: stencil3d,
+        },
+        Family {
+            name: "jacobi2d",
+            has_omp: true,
+            build: jacobi2d,
+        },
+        Family {
+            name: "conv2d",
+            has_omp: true,
+            build: conv2d,
+        },
+        Family {
+            name: "softmax",
+            has_omp: true,
+            build: softmax,
+        },
+        Family {
+            name: "layernorm",
+            has_omp: true,
+            build: layernorm,
+        },
     ]
 }
 
@@ -88,8 +124,11 @@ fn gemm(input: &FamilyInput) -> Variant {
           \x20     C[row * dim + col] = acc;\n\
           \x20   }}\n\
           \x20 }}\n");
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "gemm",
         kernel_name: "gemm_naive".into(),
@@ -224,8 +263,11 @@ fn gemv(input: &FamilyInput) -> Variant {
          \x20   y[row] = acc;\n\
          \x20 }}\n"
     );
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "gemv",
         kernel_name: "gemv".into(),
@@ -278,8 +320,11 @@ fn stencil2d(input: &FamilyInput) -> Variant {
          \x20     out[y * dim + x] = {c} * (in[y * dim + x] + in[y * dim + x - 1] +\n\
          \x20         in[y * dim + x + 1] + in[(y - 1) * dim + x] + in[(y + 1) * dim + x]);\n"
     );
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "stencil2d",
         kernel_name: "stencil2d".into(),
@@ -321,8 +366,8 @@ fn stencil3d(input: &FamilyInput) -> Variant {
              \x20       in[c0+dim] + in[c0-dim*dim] + in[c0+dim*dim]);\n\
              \x20 }}\n}}\n"
         ),
-        launch_code:
-            "  stencil3d<<<(dim * dim * dim + 255) / 256, 256>>>(dim, d_in, d_out);\n".to_string(),
+        launch_code: "  stencil3d<<<(dim * dim * dim + 255) / 256, 256>>>(dim, d_in, d_out);\n"
+            .to_string(),
         buffers: vec![
             ("in".into(), t.into(), "dim * dim * dim".into()),
             ("out".into(), t.into(), "dim * dim * dim".into()),
@@ -449,8 +494,11 @@ fn conv2d(input: &FamilyInput) -> Variant {
          \x20   }}\n\
          \x20 }}\n"
     );
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "conv2d",
         kernel_name: "conv2d".into(),
@@ -499,8 +547,11 @@ fn softmax(input: &FamilyInput) -> Variant {
         "#pragma omp target teams distribute parallel for map(to: in[0:n]) map(from: out[0:n])\n\
          \x20 for (long i = 0; i < n; i++) out[i] = {expfn}(in[i] - {mx}) * {inv};\n"
     );
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "softmax",
         kernel_name: "softmax_exp".into(),
@@ -558,8 +609,11 @@ fn layernorm(input: &FamilyInput) -> Variant {
          \x20   y[i] = (x[i] - {mean}) * {rstd} * gamma[c] + beta[c];\n\
          \x20 }}\n"
     );
-    let omp_parts =
-        ProgramParts { kernel_code: String::new(), launch_code: omp, ..parts.clone() };
+    let omp_parts = ProgramParts {
+        kernel_code: String::new(),
+        launch_code: omp,
+        ..parts.clone()
+    };
     Variant {
         family: "layernorm",
         kernel_name: "layernorm_apply".into(),
@@ -578,7 +632,12 @@ mod tests {
     use pce_roofline::{classify_joint, Boundedness, HardwareSpec, OpClass};
 
     fn input(n: u64, precision: Precision) -> FamilyInput {
-        FamilyInput { n, iters: 100, precision, verbosity: 1 }
+        FamilyInput {
+            n,
+            iters: 100,
+            precision,
+            verbosity: 1,
+        }
     }
 
     #[test]
@@ -603,7 +662,10 @@ mod tests {
     fn dp_conv2d_crosses_the_dp_balance_point() {
         let hw = HardwareSpec::rtx_3080();
         // iters picks the filter size; 2 -> ksize 7 (49-tap window).
-        let v = conv2d(&FamilyInput { iters: 2, ..input(1 << 22, Precision::F64) });
+        let v = conv2d(&FamilyInput {
+            iters: 2,
+            ..input(1 << 22, Precision::F64)
+        });
         let p = Profiler::new(hw.clone()).profile(&v.ir, &v.launch);
         let joint = classify_joint(&hw, &p.counts);
         assert_eq!(joint.label, Boundedness::Compute);
@@ -618,8 +680,14 @@ mod tests {
         let dp = softmax(&input(1 << 24, Precision::F64));
         let p_sp = prof.profile(&sp.ir, &sp.launch);
         let p_dp = prof.profile(&dp.ir, &dp.launch);
-        assert_eq!(classify_joint(&hw, &p_sp.counts).label, Boundedness::Bandwidth);
-        assert_eq!(classify_joint(&hw, &p_dp.counts).label, Boundedness::Compute);
+        assert_eq!(
+            classify_joint(&hw, &p_sp.counts).label,
+            Boundedness::Bandwidth
+        );
+        assert_eq!(
+            classify_joint(&hw, &p_dp.counts).label,
+            Boundedness::Compute
+        );
     }
 
     #[test]

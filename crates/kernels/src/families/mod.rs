@@ -139,13 +139,22 @@ mod tests {
     use super::*;
 
     fn demo_input() -> FamilyInput {
-        FamilyInput { n: 1 << 16, iters: 10, precision: Precision::F32, verbosity: 1 }
+        FamilyInput {
+            n: 1 << 16,
+            iters: 10,
+            precision: Precision::F32,
+            verbosity: 1,
+        }
     }
 
     #[test]
     fn registry_has_thirty_families_with_unique_names() {
         let fams = registry();
-        assert!(fams.len() >= 30, "expected >= 30 families, got {}", fams.len());
+        assert!(
+            fams.len() >= 30,
+            "expected >= 30 families, got {}",
+            fams.len()
+        );
         let mut names: Vec<_> = fams.iter().map(|f| f.name).collect();
         names.sort_unstable();
         let before = names.len();
@@ -178,7 +187,12 @@ mod tests {
                 fam.name,
                 v.kernel_name
             );
-            assert_eq!(v.omp.is_some(), fam.has_omp, "{}: OMP port mismatch", fam.name);
+            assert_eq!(
+                v.omp.is_some(),
+                fam.has_omp,
+                "{}: OMP port mismatch",
+                fam.name
+            );
             if let Some(omp) = &v.omp {
                 assert!(
                     omp.contains("#pragma omp target"),
@@ -194,7 +208,10 @@ mod tests {
     #[test]
     fn precision_switches_types_in_source_and_ir() {
         let sp = demo_input();
-        let dp = FamilyInput { precision: Precision::F64, ..sp };
+        let dp = FamilyInput {
+            precision: Precision::F64,
+            ..sp
+        };
         let fam = family("saxpy").unwrap();
         let vs = (fam.build)(&sp);
         let vd = (fam.build)(&dp);
@@ -214,7 +231,10 @@ mod tests {
         let sp = demo_input();
         assert_eq!(sp.lit("2.0"), "2.0f");
         assert_eq!(sp.fun("exp"), "expf");
-        let dp = FamilyInput { precision: Precision::F64, ..sp };
+        let dp = FamilyInput {
+            precision: Precision::F64,
+            ..sp
+        };
         assert_eq!(dp.lit("2.0"), "2.0");
         assert_eq!(dp.fun("sqrt"), "sqrt");
     }

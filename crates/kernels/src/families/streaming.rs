@@ -10,18 +10,66 @@ use super::{guard_fraction, linear_launch, Family, FamilyInput, Variant};
 /// The streaming family set.
 pub fn families() -> Vec<Family> {
     vec![
-        Family { name: "vecadd", has_omp: true, build: vecadd },
-        Family { name: "saxpy", has_omp: true, build: saxpy },
-        Family { name: "triad", has_omp: true, build: triad },
-        Family { name: "devicecopy", has_omp: true, build: devicecopy },
-        Family { name: "vecscale", has_omp: true, build: vecscale },
-        Family { name: "dotprod", has_omp: true, build: dotprod },
-        Family { name: "reduction", has_omp: true, build: reduction },
-        Family { name: "stencil1d", has_omp: true, build: stencil1d },
-        Family { name: "transpose", has_omp: false, build: transpose },
-        Family { name: "gather", has_omp: true, build: gather },
-        Family { name: "scatter", has_omp: false, build: scatter },
-        Family { name: "histogram", has_omp: true, build: histogram },
+        Family {
+            name: "vecadd",
+            has_omp: true,
+            build: vecadd,
+        },
+        Family {
+            name: "saxpy",
+            has_omp: true,
+            build: saxpy,
+        },
+        Family {
+            name: "triad",
+            has_omp: true,
+            build: triad,
+        },
+        Family {
+            name: "devicecopy",
+            has_omp: true,
+            build: devicecopy,
+        },
+        Family {
+            name: "vecscale",
+            has_omp: true,
+            build: vecscale,
+        },
+        Family {
+            name: "dotprod",
+            has_omp: true,
+            build: dotprod,
+        },
+        Family {
+            name: "reduction",
+            has_omp: true,
+            build: reduction,
+        },
+        Family {
+            name: "stencil1d",
+            has_omp: true,
+            build: stencil1d,
+        },
+        Family {
+            name: "transpose",
+            has_omp: false,
+            build: transpose,
+        },
+        Family {
+            name: "gather",
+            has_omp: true,
+            build: gather,
+        },
+        Family {
+            name: "scatter",
+            has_omp: false,
+            build: scatter,
+        },
+        Family {
+            name: "histogram",
+            has_omp: true,
+            build: histogram,
+        },
     ]
 }
 
@@ -132,7 +180,10 @@ fn saxpy(input: &FamilyInput) -> Variant {
             "#pragma omp target teams distribute parallel for map(to: x[0:n]) map(tofrom: y[0:n])\n\
              \x20 for (long i = 0; i < n; i++) y[i] = {a} * x[i] + y[i];\n"
         )),
-        vec![("x".into(), t.into(), "n".into()), ("y".into(), t.into(), "n".into())],
+        vec![
+            ("x".into(), t.into(), "n".into()),
+            ("y".into(), t.into(), "n".into()),
+        ],
         ir,
     )
 }
@@ -247,7 +298,11 @@ fn dotprod(input: &FamilyInput) -> Variant {
         // Block-level tree reduction in shared memory.
         .op(Op::loop_n(
             Extent::Const(8),
-            vec![Op::Shared(pce_gpu_sim::ir::Dir::Read), Op::Flop(input.precision), Op::Sync],
+            vec![
+                Op::Shared(pce_gpu_sim::ir::Dir::Read),
+                Op::Flop(input.precision),
+                Op::Sync,
+            ],
         ))
         .op(Op::Guard {
             fraction: 1.0 / 256.0,
@@ -299,7 +354,11 @@ fn reduction(input: &FamilyInput) -> Variant {
         .op(Op::load("in", AccessPattern::Coalesced))
         .op(Op::loop_n(
             Extent::Const(8),
-            vec![Op::Shared(pce_gpu_sim::ir::Dir::Read), Op::Flop(input.precision), Op::Sync],
+            vec![
+                Op::Shared(pce_gpu_sim::ir::Dir::Read),
+                Op::Flop(input.precision),
+                Op::Sync,
+            ],
         ))
         .op(Op::Guard {
             fraction: 1.0 / 256.0,
@@ -331,7 +390,10 @@ fn reduction(input: &FamilyInput) -> Variant {
              \x20 for (long i = 0; i < n; i++) total += in[i];\n\
              \x20 printf(\"sum = %f\\n\", (double)total);\n"
         )),
-        vec![("in".into(), t.into(), "n".into()), ("out".into(), t.into(), "4096".into())],
+        vec![
+            ("in".into(), t.into(), "n".into()),
+            ("out".into(), t.into(), "4096".into()),
+        ],
         ir,
     )
 }
@@ -399,7 +461,8 @@ fn transpose(input: &FamilyInput) -> Variant {
              \x20 }}\n}}\n"
         ),
         launch_code: "  dim3 block(16, 16);\n  dim3 grid((dim + 15) / 16, (dim + 15) / 16);\n\
-             \x20 transpose<<<grid, block>>>(dim, d_in, d_out);\n".to_string(),
+             \x20 transpose<<<grid, block>>>(dim, d_in, d_out);\n"
+            .to_string(),
         buffers: vec![
             ("in".into(), t.into(), "dim * dim".into()),
             ("out".into(), t.into(), "dim * dim".into()),
@@ -534,7 +597,12 @@ mod tests {
     use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
 
     fn input(n: u64) -> FamilyInput {
-        FamilyInput { n, iters: 1, precision: Precision::F32, verbosity: 1 }
+        FamilyInput {
+            n,
+            iters: 1,
+            precision: Precision::F32,
+            verbosity: 1,
+        }
     }
 
     #[test]

@@ -284,7 +284,11 @@ fn host_main(out: &mut String, parts: &ProgramParts, lang: Language, verbosity: 
 
 fn validation_block(out: &mut String, parts: &ProgramParts) {
     if let Some((name, c_type, len)) = parts.buffers.last() {
-        let prefix = if parts.kernel_code.contains("__global__") { "h_" } else { "" };
+        let prefix = if parts.kernel_code.contains("__global__") {
+            "h_"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  // lightweight sanity check against NaNs and wild values\n\
              \x20 long bad = 0;\n\

@@ -20,7 +20,10 @@ pub struct SamplingParams {
 impl Default for SamplingParams {
     fn default() -> Self {
         // The paper settles on (0.1, 0.2) after its chi-squared check.
-        SamplingParams { temperature: 0.1, top_p: 0.2 }
+        SamplingParams {
+            temperature: 0.1,
+            top_p: 0.2,
+        }
     }
 }
 
@@ -40,7 +43,12 @@ pub struct ChatRequest {
 impl ChatRequest {
     /// Convenience constructor.
     pub fn new(model: &str, prompt: impl Into<String>) -> Self {
-        ChatRequest { model: model.to_string(), prompt: prompt.into(), sampling: None, seed: 0 }
+        ChatRequest {
+            model: model.to_string(),
+            prompt: prompt.into(),
+            sampling: None,
+            seed: 0,
+        }
     }
 
     /// Attach sampling parameters (builder style).
@@ -141,7 +149,10 @@ mod tests {
 
     #[test]
     fn usage_totals() {
-        let u = Usage { prompt_tokens: 100, completion_tokens: 5 };
+        let u = Usage {
+            prompt_tokens: 100,
+            completion_tokens: 5,
+        };
         assert_eq!(u.total(), 105);
     }
 
@@ -152,7 +163,10 @@ mod tests {
             model: "m".into(),
             text: "Compute".into(),
             trace: None,
-            usage: Usage { prompt_tokens: 1_000_000, completion_tokens: 500_000 },
+            usage: Usage {
+                prompt_tokens: 1_000_000,
+                completion_tokens: 500_000,
+            },
         };
         meter.record(&resp, 2.0, 8.0);
         meter.record(&resp, 2.0, 8.0);
@@ -169,7 +183,10 @@ mod tests {
             model: "m".into(),
             text: "Bandwidth".into(),
             trace: None,
-            usage: Usage { prompt_tokens: 10, completion_tokens: 1 },
+            usage: Usage {
+                prompt_tokens: 10,
+                completion_tokens: 1,
+            },
         };
         std::thread::scope(|s| {
             for _ in 0..8 {
@@ -196,7 +213,10 @@ mod tests {
     #[test]
     fn request_builder_chains() {
         let r = ChatRequest::new("o1", "hello")
-            .with_sampling(SamplingParams { temperature: 0.7, top_p: 0.9 })
+            .with_sampling(SamplingParams {
+                temperature: 0.7,
+                top_p: 0.9,
+            })
             .with_seed(42);
         assert_eq!(r.model, "o1");
         assert_eq!(r.seed, 42);

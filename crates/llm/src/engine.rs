@@ -46,8 +46,8 @@ impl SurrogateEngine {
     /// Panics when the requested model is not in the zoo — the harness
     /// only ever evaluates Table-1 models.
     pub fn complete(&self, req: &ChatRequest) -> ChatResponse {
-        let spec = model(&req.model)
-            .unwrap_or_else(|| panic!("model '{}' is not in the zoo", req.model));
+        let spec =
+            model(&req.model).unwrap_or_else(|| panic!("model '{}' is not in the zoo", req.model));
         let sampling = req.sampling.unwrap_or_default();
         let mut rng = NoiseStream::new(&spec.name, &req.prompt, req.seed, sampling);
 
@@ -62,14 +62,22 @@ impl SurrogateEngine {
             } else {
                 Boundedness::Compute
             };
-            (answer.answer_token().to_string(), Some("prior-only guess".to_string()))
+            (
+                answer.answer_token().to_string(),
+                Some("prior-only guess".to_string()),
+            )
         };
 
         let usage = Usage {
             prompt_tokens: approx_tokens(&req.prompt),
             completion_tokens: 1 + spec.reasoning_tokens,
         };
-        let resp = ChatResponse { model: spec.name.clone(), text, trace, usage };
+        let resp = ChatResponse {
+            model: spec.name.clone(),
+            text,
+            trace,
+            usage,
+        };
         self.meter.record(&resp, spec.input_cost, spec.output_cost);
         resp
     }
@@ -81,7 +89,10 @@ impl SurrogateEngine {
         rng: &mut NoiseStream,
     ) -> (String, Option<String>) {
         let Some(q) = parse_rq1(prompt) else {
-            return ("Bandwidth".to_string(), Some("failed to parse question".into()));
+            return (
+                "Bandwidth".to_string(),
+                Some("failed to parse question".into()),
+            );
         };
         let balance = q.peak_gflops / q.bandwidth_gbs;
         let correct = if q.ai >= balance {
@@ -126,7 +137,10 @@ impl SurrogateEngine {
             } else {
                 Boundedness::Compute
             };
-            return (answer.answer_token().to_string(), Some("prior-driven answer".into()));
+            return (
+                answer.answer_token().to_string(),
+                Some("prior-driven answer".into()),
+            );
         }
 
         // Deep readers (reasoning models, and frontier-scale standard
@@ -138,7 +152,11 @@ impl SurrogateEngine {
         } else {
             Default::default()
         };
-        let opts = AnalyzeOptions { params, default_trip: 64.0, loop_aware: deep };
+        let opts = AnalyzeOptions {
+            params,
+            default_trip: 64.0,
+            loop_aware: deep,
+        };
         let analysis = analyze(&q.source, &opts);
 
         let (tally, trip_weight) = if deep {
@@ -166,7 +184,11 @@ impl SurrogateEngine {
             if ai <= 0.0 {
                 continue;
             }
-            let m = if ai.is_infinite() { 3.0 } else { (ai / balance).log10() };
+            let m = if ai.is_infinite() {
+                3.0
+            } else {
+                (ai / balance).log10()
+            };
             best_margin = best_margin.max(m);
             if m >= 0.0 {
                 verdict = Boundedness::Compute;
@@ -192,7 +214,11 @@ impl SurrogateEngine {
         let insight = if deep {
             spec.caps.insight
         } else {
-            let bump = if prompt_has_real_examples(prompt) { 0.10 } else { 0.0 };
+            let bump = if prompt_has_real_examples(prompt) {
+                0.10
+            } else {
+                0.0
+            };
             (spec.caps.insight + bump).min(1.0)
         };
         let flip_p = if deep {
@@ -337,7 +363,10 @@ mod tests {
         let engine = SurrogateEngine::new();
         let mut acc = vec![];
         for temp in [0.1, 1.0] {
-            let sampling = SamplingParams { temperature: temp, top_p: 0.2 };
+            let sampling = SamplingParams {
+                temperature: temp,
+                top_p: 0.2,
+            };
             let mut correct = 0;
             for (i, item) in suite.items.iter().enumerate() {
                 let prompt = render_rq1_prompt(&suite, i, 2, false);
@@ -364,7 +393,10 @@ mod tests {
         engine.complete(&ChatRequest::new("o1", prompt.clone()));
         engine.complete(&ChatRequest::new("gpt-4o-mini", prompt));
         let snap = engine.meter().snapshot();
-        assert!(snap["o1"].0.completion_tokens > 1000, "o-series bills thinking tokens");
+        assert!(
+            snap["o1"].0.completion_tokens > 1000,
+            "o-series bills thinking tokens"
+        );
         assert_eq!(snap["gpt-4o-mini"].0.completion_tokens, 1);
         assert!(snap["o1"].1 > snap["gpt-4o-mini"].1, "o1 costs more");
     }

@@ -6,13 +6,22 @@
 //!
 //! We reproduce the *mechanism*, not just the outcome: a generative model
 //! fine-tuned on single-token answers is, at the answer head, a logistic
-//! model over its text features. We train exactly that — an SGD logistic
-//! head over hashed bag-of-token features — with the aggressive schedule
-//! small fine-tune jobs use. With only a few hundred samples over a huge
-//! feature space, the *shared* tokens (benchmark boilerplate present in
-//! every program) accumulate random-walk weight that dwarfs the class-
-//! informative features, and the saturated head answers one class for
-//! everything. That is the collapse the paper reports.
+//! model over its text features plus an answer-token prior. We train
+//! exactly that — an SGD logistic head over hashed bag-of-token features —
+//! with the aggressive schedule small fine-tune jobs use. Two ingredients
+//! produce the paper's collapse, robustly across seeds:
+//!
+//! 1. the answer-token *prior* (the bias) is updated on every step, far
+//!    more often than any individual text feature, so it saturates and
+//!    oscillates between all-Compute / all-Bandwidth states
+//!    (`answer_prior_rate`), and
+//! 2. per-occurrence weight decay (the sparse-SGD form, standard in
+//!    fine-tune schedules) keeps class-informative lexical features from
+//!    accumulating enough mass to counter the prior on a few hundred
+//!    samples (`weight_decay`).
+//!
+//! Wherever the oscillation stops, the saturated head answers one class
+//! for everything — the collapse the paper reports in §3.7.
 
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -29,6 +38,18 @@ pub struct FineTuneConfig {
     /// SGD learning rate. Fine-tune-style schedules are aggressive; this
     /// is what drives saturation on tiny datasets.
     pub learning_rate: f64,
+    /// Learning-rate multiplier on the bias (answer-token prior). A
+    /// generative model fine-tuned on single-token completions updates the
+    /// answer token's output prior on *every* step — far more often than
+    /// any individual text feature — which is what makes small fine-tunes
+    /// overfit the answer distribution itself.
+    pub answer_prior_rate: f64,
+    /// Multiplicative decay applied to a feature's weight on each update
+    /// it participates in — i.e. lazy/per-occurrence decay, the cheap
+    /// sparse-SGD form (the bias is exempt, as output priors are rarely
+    /// regularised). On tiny datasets this caps how much mass lexical
+    /// features can accumulate, so they cannot counter the prior.
+    pub weight_decay: f64,
     /// Hashed feature dimensionality.
     pub hash_dim: usize,
     /// Shuffle/initialisation seed.
@@ -37,7 +58,14 @@ pub struct FineTuneConfig {
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        FineTuneConfig { epochs: 2, learning_rate: 12.0, hash_dim: 4096, seed: 0 }
+        FineTuneConfig {
+            epochs: 2,
+            learning_rate: 12.0,
+            answer_prior_rate: 8.0,
+            weight_decay: 0.02,
+            hash_dim: 4096,
+            seed: 0,
+        }
     }
 }
 
@@ -95,9 +123,10 @@ impl FineTuneJob {
                 let (x, y) = &features[idx];
                 let p = sigmoid(dot(&weights, bias, x));
                 let grad = p - y;
-                bias -= self.config.learning_rate * grad;
+                bias -= self.config.learning_rate * self.config.answer_prior_rate * grad;
                 for &(f, v) in x {
-                    weights[f] -= self.config.learning_rate * grad * v;
+                    weights[f] = weights[f] * (1.0 - self.config.weight_decay)
+                        - self.config.learning_rate * grad * v;
                 }
             }
             let correct = features
@@ -106,7 +135,12 @@ impl FineTuneJob {
                 .count();
             epoch_train_accuracy.push(correct as f64 / features.len() as f64);
         }
-        FineTunedModel { weights, bias, epoch_train_accuracy, config: self.config }
+        FineTunedModel {
+            weights,
+            bias,
+            epoch_train_accuracy,
+            config: self.config,
+        }
     }
 }
 
@@ -181,7 +215,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n)
             .map(|i| {
-                let label = if i % 2 == 0 { Boundedness::Compute } else { Boundedness::Bandwidth };
+                let label = if i % 2 == 0 {
+                    Boundedness::Compute
+                } else {
+                    Boundedness::Bandwidth
+                };
                 let iters = match label {
                     Boundedness::Compute => rng.gen_range(500..100_000),
                     Boundedness::Bandwidth => rng.gen_range(1..40),
@@ -223,8 +261,10 @@ mod tests {
         // that lexical features cannot explain.
         let train = synthetic_samples(272, 11, false);
         let model = FineTuneJob::new(train, FineTuneConfig::default()).run();
-        let val: Vec<String> =
-            synthetic_samples(68, 99, false).into_iter().map(|(t, _)| t).collect();
+        let val: Vec<String> = synthetic_samples(68, 99, false)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         let concentration = model.prediction_concentration(&val);
         assert!(
             concentration > 0.85,
@@ -237,7 +277,13 @@ mod tests {
         // The counterfactual the paper hypothesises: learnable signal (and
         // a sane learning rate) generalises instead of collapsing.
         let train = synthetic_samples(4000, 5, true);
-        let cfg = FineTuneConfig { learning_rate: 0.3, epochs: 4, ..Default::default() };
+        let cfg = FineTuneConfig {
+            learning_rate: 0.3,
+            epochs: 4,
+            answer_prior_rate: 1.0,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
         let model = FineTuneJob::new(train, cfg).run();
         let val = synthetic_samples(400, 77, true);
         let correct = val
@@ -245,7 +291,10 @@ mod tests {
             .filter(|(t, label)| model.predict(t) == *label)
             .count();
         let acc = correct as f64 / val.len() as f64;
-        assert!(acc > 0.8, "informative features should be learnable, got {acc}");
+        assert!(
+            acc > 0.8,
+            "informative features should be learnable, got {acc}"
+        );
         let texts: Vec<String> = val.into_iter().map(|(t, _)| t).collect();
         assert!(model.prediction_concentration(&texts) < 0.9);
     }

@@ -66,7 +66,11 @@ pub fn parse_rq1(prompt: &str) -> Option<Rq1Question> {
     let (bandwidth_gbs, _) = number_after(q, "max bandwidth of", 0)?;
     let (peak_gflops, _) = number_after(q, "peak performance of", 0)?;
     let (ai, _) = number_after(q, "Arithmetic Intensity of", 0)?;
-    Some(Rq1Question { bandwidth_gbs, peak_gflops, ai })
+    Some(Rq1Question {
+        bandwidth_gbs,
+        peak_gflops,
+        ai,
+    })
 }
 
 /// Whether a prompt looks like an RQ1 roofline-calculation question.
@@ -116,7 +120,9 @@ pub fn parse_classify(prompt: &str) -> Option<ClassifyQuestion> {
 
     let src_marker = "Below is the source code";
     let src_at = prompt.find(src_marker)?;
-    let source = prompt[src_at..].split_once(":\n").map(|x| x.1)
+    let source = prompt[src_at..]
+        .split_once(":\n")
+        .map(|x| x.1)
         .unwrap_or("")
         .to_string();
 
@@ -142,11 +148,17 @@ pub fn bind_args_to_params(source: &str, args: &[String]) -> BTreeMap<String, u6
     for line in source.lines() {
         let trimmed = line.trim_start();
         // Expect: TYPE NAME = (argc > K) ? ... : DEFAULT;
-        let Some(eq) = trimmed.find("= (argc >") else { continue };
+        let Some(eq) = trimmed.find("= (argc >") else {
+            continue;
+        };
         let head = trimmed[..eq].trim();
-        let Some(name) = head.split_whitespace().last() else { continue };
+        let Some(name) = head.split_whitespace().last() else {
+            continue;
+        };
         let tail = &trimmed[eq..];
-        let Some((idx, after_idx)) = number_after(tail, "argc >", 0) else { continue };
+        let Some((idx, after_idx)) = number_after(tail, "argc >", 0) else {
+            continue;
+        };
         let arg_pos = idx as usize; // argv[K] is the K'th positional arg
         let value = args
             .get(arg_pos.wrapping_sub(1))
@@ -237,8 +249,7 @@ mod tests {
         let src = "int main(int argc, char* argv[]) {\n\
                    \x20 long n = (argc > 1) ? (long)atol(argv[1]) : 1048576;\n\
                    \x20 int iters = (argc > 2) ? (int)atol(argv[2]) : 100;\n";
-        let params =
-            bind_args_to_params(src, &["4096".to_string(), "7".to_string()]);
+        let params = bind_args_to_params(src, &["4096".to_string(), "7".to_string()]);
         assert_eq!(params["n"], 4096);
         assert_eq!(params["iters"], 7);
     }

@@ -100,10 +100,28 @@ pub fn model_zoo() -> Vec<ModelSpec> {
         reasoning("o3-mini", 1.1, 4.4, 0.82, 900),
         standard("gpt-4.5-preview", 75.0, 150.0, 0.20, 0.05, 0.68, 0.05, true),
         reasoning("o1-mini-2024-09-12", 1.1, 4.4, 0.62, 600),
-        standard("gemini-2.0-flash-001", 0.1, 0.4, 0.39, 0.33, 0.42, 0.10, true),
+        standard(
+            "gemini-2.0-flash-001",
+            0.1,
+            0.4,
+            0.39,
+            0.33,
+            0.42,
+            0.10,
+            true,
+        ),
         standard("gpt-4o-2024-11-20", 2.5, 10.0, 0.39, 0.17, 0.30, 0.55, true),
         standard("gpt-4o-mini", 0.15, 0.6, 0.45, 0.02, 0.08, 0.15, true),
-        standard("gpt-4o-mini-2024-07-18", 0.15, 0.6, 0.45, 0.02, 0.06, 0.15, true),
+        standard(
+            "gpt-4o-mini-2024-07-18",
+            0.15,
+            0.6,
+            0.45,
+            0.02,
+            0.06,
+            0.15,
+            true,
+        ),
     ]
 }
 

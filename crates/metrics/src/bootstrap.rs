@@ -52,7 +52,10 @@ pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
 ) -> BootstrapInterval {
     assert!(!items.is_empty(), "cannot bootstrap an empty sample");
     assert!(resamples > 0, "need at least one resample");
-    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0,1)");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0,1)"
+    );
 
     let estimate = statistic(items);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);

@@ -67,7 +67,11 @@ pub fn chi_squared_independence(table: &[Vec<u64>]) -> Result<Chi2Result, String
     }
     let dof = ((live_rows.len() - 1) * (live_cols.len() - 1)) as u32;
     let p_value = chi2_sf(stat, dof);
-    Ok(Chi2Result { statistic: stat, dof, p_value })
+    Ok(Chi2Result {
+        statistic: stat,
+        dof,
+        p_value,
+    })
 }
 
 /// Survival function of the chi-squared distribution:
@@ -171,7 +175,12 @@ mod tests {
     #[test]
     fn ln_gamma_matches_factorials() {
         // ln Γ(n) = ln (n-1)!
-        let cases = [(1.0, 0.0), (2.0, 0.0), (5.0, 24f64.ln()), (10.0, 362880f64.ln())];
+        let cases = [
+            (1.0, 0.0),
+            (2.0, 0.0),
+            (5.0, 24f64.ln()),
+            (10.0, 362880f64.ln()),
+        ];
         for (x, expected) in cases {
             assert!(
                 (ln_gamma(x) - expected).abs() < 1e-10,

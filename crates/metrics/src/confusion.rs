@@ -181,7 +181,14 @@ mod tests {
     use super::*;
 
     fn matrix(tp: u64, fp: u64, tn: u64, fn_: u64) -> ConfusionMatrix {
-        ConfusionMatrix { tp, fp, tn, fn_, invalid_pos: 0, invalid_neg: 0 }
+        ConfusionMatrix {
+            tp,
+            fp,
+            tn,
+            fn_,
+            invalid_pos: 0,
+            invalid_neg: 0,
+        }
     }
 
     #[test]

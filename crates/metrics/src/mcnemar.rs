@@ -60,7 +60,12 @@ pub fn mcnemar_test(a_correct: &[bool], b_correct: &[bool]) -> McNemarResult {
         let stat = (diff.max(0.0)).powi(2) / n as f64;
         (stat, chi2_sf(stat, 1))
     };
-    McNemarResult { a_only, b_only, statistic, p_value }
+    McNemarResult {
+        a_only,
+        b_only,
+        statistic,
+        p_value,
+    }
 }
 
 #[cfg(test)]

@@ -55,7 +55,11 @@ pub fn render_classify_prompt(req: &ClassifyRequest, style: ShotStyle) -> String
         out.push_str(&format!(
             "Example {}:\nKernel Source Code{}:\n{}\nResponse: {}\n\n",
             i + 1,
-            if style == ShotStyle::ZeroShot { " (simplified)" } else { "" },
+            if style == ShotStyle::ZeroShot {
+                " (simplified)"
+            } else {
+                ""
+            },
             example.code,
             example.label.answer_token()
         ));
@@ -133,7 +137,10 @@ mod tests {
         assert!(prompt.contains("power_iter"));
         assert!(!prompt.contains("(simplified)"));
 
-        let omp_req = ClassifyRequest { language: "OMP".into(), ..request() };
+        let omp_req = ClassifyRequest {
+            language: "OMP".into(),
+            ..request()
+        };
         let omp_prompt = render_classify_prompt(&omp_req, ShotStyle::FewShot);
         assert!(omp_prompt.contains("#pragma omp target"));
         assert!(!omp_prompt.contains("power_iter"));

@@ -93,8 +93,12 @@ fn thought(item: &Rq1Item) -> String {
     let balance = item.peak_gflops / item.bandwidth_gbs;
     let relation = if item.ai < balance { "<" } else { ">=" };
     let region = match item.truth {
-        Boundedness::Bandwidth => "before the balance point, putting the program in the bandwidth-bound region",
-        Boundedness::Compute => "past the balance point, putting the program in the compute-bound region",
+        Boundedness::Bandwidth => {
+            "before the balance point, putting the program in the bandwidth-bound region"
+        }
+        Boundedness::Compute => {
+            "past the balance point, putting the program in the compute-bound region"
+        }
     };
     format!(
         "Thought: The max bandwidth is {} GB/s, and peak performance is {} GFLOP/s. \
@@ -124,7 +128,10 @@ fn thought(item: &Rq1Item) -> String {
 /// `shots < 2` (the paper always includes at least two examples to anchor
 /// the output format).
 pub fn render_rq1_prompt(suite: &Rq1Suite, query_idx: usize, shots: usize, cot: bool) -> String {
-    assert!(shots >= 2, "the paper's RQ1 prompts use at least 2 examples");
+    assert!(
+        shots >= 2,
+        "the paper's RQ1 prompts use at least 2 examples"
+    );
     assert!(
         suite.items.len() > shots,
         "suite too small: {} items for {shots} shots",
@@ -166,7 +173,11 @@ mod tests {
     fn suite_has_two_items_per_roofline_and_balanced_truth() {
         let suite = generate_rq1_suite(240, 7);
         assert_eq!(suite.items.len(), 480);
-        let cb = suite.items.iter().filter(|i| i.truth == Boundedness::Compute).count();
+        let cb = suite
+            .items
+            .iter()
+            .filter(|i| i.truth == Boundedness::Compute)
+            .count();
         assert_eq!(cb, 240);
     }
 
@@ -192,8 +203,16 @@ mod tests {
     #[test]
     fn margins_span_the_requested_range() {
         let suite = generate_rq1_suite(100, 5);
-        let min = suite.items.iter().map(|i| i.margin_decades).fold(f64::MAX, f64::min);
-        let max = suite.items.iter().map(|i| i.margin_decades).fold(0.0, f64::max);
+        let min = suite
+            .items
+            .iter()
+            .map(|i| i.margin_decades)
+            .fold(f64::MAX, f64::min);
+        let max = suite
+            .items
+            .iter()
+            .map(|i| i.margin_decades)
+            .fold(0.0, f64::max);
         assert!(min >= 0.1 && max < 1.0);
         assert!(max - min > 0.5, "margins should spread out");
     }

@@ -56,9 +56,9 @@ impl Boundedness {
     /// Returns `None` for anything else — the harness counts those as
     /// incorrect, as the paper's automation does.
     pub fn parse(answer: &str) -> Option<Boundedness> {
-        let trimmed = answer.trim().trim_matches(|c: char| {
-            c == '.' || c == '\'' || c == '"' || c == '`' || c == ':'
-        });
+        let trimmed = answer
+            .trim()
+            .trim_matches(|c: char| c == '.' || c == '\'' || c == '"' || c == '`' || c == ':');
         let lower = trimmed.to_ascii_lowercase();
         if lower.starts_with("compute") {
             Some(Boundedness::Compute)
@@ -126,7 +126,12 @@ pub fn classify_per_class(hw: &HardwareSpec, counts: &OpCounts) -> Vec<ClassOutc
             } else {
                 roof.classify(ai)
             };
-            ClassOutcome { class, ai, balance_point: roof.balance_point(), verdict }
+            ClassOutcome {
+                class,
+                ai,
+                balance_point: roof.balance_point(),
+                verdict,
+            }
         })
         .collect()
 }
@@ -196,7 +201,10 @@ mod tests {
 
     #[test]
     fn cache_resident_counts_are_compute_bound() {
-        let counts = OpCounts { flops_sp: 1000, ..OpCounts::default() };
+        let counts = OpCounts {
+            flops_sp: 1000,
+            ..OpCounts::default()
+        };
         let joint = classify_joint(&hw(), &counts);
         assert_eq!(joint.label, Boundedness::Compute);
     }
@@ -215,8 +223,10 @@ mod tests {
     #[test]
     fn balance_points_are_ordered_dp_int_sp_on_3080() {
         let outcomes = classify_per_class(&hw(), &OpCounts::default());
-        let bp: std::collections::HashMap<_, _> =
-            outcomes.iter().map(|o| (o.class, o.balance_point)).collect();
+        let bp: std::collections::HashMap<_, _> = outcomes
+            .iter()
+            .map(|o| (o.class, o.balance_point))
+            .collect();
         assert!(bp[&OpClass::Dp] < bp[&OpClass::Int]);
         assert!(bp[&OpClass::Int] < bp[&OpClass::Sp]);
     }
@@ -224,10 +234,22 @@ mod tests {
     #[test]
     fn answer_token_parsing_accepts_variants() {
         assert_eq!(Boundedness::parse("Compute"), Some(Boundedness::Compute));
-        assert_eq!(Boundedness::parse(" bandwidth "), Some(Boundedness::Bandwidth));
-        assert_eq!(Boundedness::parse("Compute-bound."), Some(Boundedness::Compute));
-        assert_eq!(Boundedness::parse("'Bandwidth'"), Some(Boundedness::Bandwidth));
-        assert_eq!(Boundedness::parse("memory-bound"), Some(Boundedness::Bandwidth));
+        assert_eq!(
+            Boundedness::parse(" bandwidth "),
+            Some(Boundedness::Bandwidth)
+        );
+        assert_eq!(
+            Boundedness::parse("Compute-bound."),
+            Some(Boundedness::Compute)
+        );
+        assert_eq!(
+            Boundedness::parse("'Bandwidth'"),
+            Some(Boundedness::Bandwidth)
+        );
+        assert_eq!(
+            Boundedness::parse("memory-bound"),
+            Some(Boundedness::Bandwidth)
+        );
         assert_eq!(Boundedness::parse("dunno"), None);
         assert_eq!(Boundedness::parse(""), None);
     }

@@ -144,12 +144,7 @@ impl HardwareSpec {
 
     /// All built-in presets.
     pub fn presets() -> Vec<HardwareSpec> {
-        vec![
-            Self::rtx_3080(),
-            Self::a100(),
-            Self::v100(),
-            Self::mi100(),
-        ]
+        vec![Self::rtx_3080(), Self::a100(), Self::v100(), Self::mi100()]
     }
 
     /// Look up a preset by (case-insensitive) substring of its name.
@@ -184,9 +179,18 @@ impl HardwareSpec {
                 problems.push(msg.to_string());
             }
         };
-        check(self.peak_sp_gflops > 0.0, "peak SP throughput must be positive");
-        check(self.peak_dp_gflops > 0.0, "peak DP throughput must be positive");
-        check(self.peak_int_giops > 0.0, "peak INT throughput must be positive");
+        check(
+            self.peak_sp_gflops > 0.0,
+            "peak SP throughput must be positive",
+        );
+        check(
+            self.peak_dp_gflops > 0.0,
+            "peak DP throughput must be positive",
+        );
+        check(
+            self.peak_int_giops > 0.0,
+            "peak INT throughput must be positive",
+        );
         check(self.bandwidth_gbs > 0.0, "bandwidth must be positive");
         check(
             self.peak_dp_gflops <= self.peak_sp_gflops,

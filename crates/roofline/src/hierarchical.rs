@@ -57,7 +57,11 @@ impl HierarchicalRoofline {
         let dram = hw.bandwidth_gbs;
         HierarchicalRoofline {
             peak_gops: hw.peak_gops(class),
-            levels: vec![(MemLevel::L1, l1), (MemLevel::L2, l2), (MemLevel::Dram, dram)],
+            levels: vec![
+                (MemLevel::L1, l1),
+                (MemLevel::L2, l2),
+                (MemLevel::Dram, dram),
+            ],
         }
     }
 
@@ -136,7 +140,11 @@ mod tests {
     fn dram_bound_kernel_is_limited_by_dram() {
         let h = hier();
         // Streams everything: same AI at every level, below all balances.
-        let ai = vec![(MemLevel::L1, 0.2), (MemLevel::L2, 0.2), (MemLevel::Dram, 0.2)];
+        let ai = vec![
+            (MemLevel::L1, 0.2),
+            (MemLevel::L2, 0.2),
+            (MemLevel::Dram, 0.2),
+        ];
         assert_eq!(h.limiting_level(&ai), Some(MemLevel::Dram));
     }
 
@@ -147,8 +155,8 @@ mod tests {
         let dram_bp = h.level(MemLevel::Dram).unwrap().balance_point();
         let l1_bp = h.level(MemLevel::L1).unwrap().balance_point();
         let ai = vec![
-            (MemLevel::L1, l1_bp * 0.5),    // BB at L1
-            (MemLevel::L2, dram_bp * 5.0),  // CB at L2
+            (MemLevel::L1, l1_bp * 0.5),      // BB at L1
+            (MemLevel::L2, dram_bp * 5.0),    // CB at L2
             (MemLevel::Dram, dram_bp * 50.0), // CB at DRAM
         ];
         assert_eq!(h.limiting_level(&ai), Some(MemLevel::L1));

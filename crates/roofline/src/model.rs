@@ -31,7 +31,10 @@ impl Roofline {
             bandwidth_gbs.is_finite() && bandwidth_gbs > 0.0,
             "bandwidth must be positive and finite, got {bandwidth_gbs}"
         );
-        Roofline { peak_gops, bandwidth_gbs }
+        Roofline {
+            peak_gops,
+            bandwidth_gbs,
+        }
     }
 
     /// The balance point (a.k.a. machine balance or ridge point) in

@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn cache_resident_kernel_has_infinite_ai() {
-        let c = OpCounts { flops_sp: 100, ..OpCounts::default() };
+        let c = OpCounts {
+            flops_sp: 100,
+            ..OpCounts::default()
+        };
         assert!(c.ai(OpClass::Sp).is_infinite());
     }
 
@@ -168,7 +171,11 @@ mod tests {
     fn dominant_class_picks_largest_counter() {
         let c = saxpy_counts();
         assert_eq!(c.dominant_class(), Some(OpClass::Sp));
-        let c2 = OpCounts { intops: 10, flops_dp: 5, ..OpCounts::default() };
+        let c2 = OpCounts {
+            intops: 10,
+            flops_dp: 5,
+            ..OpCounts::default()
+        };
         assert_eq!(c2.dominant_class(), Some(OpClass::Int));
     }
 

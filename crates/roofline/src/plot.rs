@@ -121,7 +121,12 @@ pub fn sample_curve(
         points.push((bp, roof.peak_gops));
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     }
-    RooflineCurve { class, balance_point: bp, peak_gops: roof.peak_gops, points }
+    RooflineCurve {
+        class,
+        balance_point: bp,
+        peak_gops: roof.peak_gops,
+        points,
+    }
 }
 
 /// Build the full Figure-1 payload from a set of profiled kernels.
@@ -160,7 +165,11 @@ pub fn build_plot(
             });
         }
     }
-    RooflinePlot { hardware: hw.name.clone(), curves, scatter }
+    RooflinePlot {
+        hardware: hw.name.clone(),
+        curves,
+        scatter,
+    }
 }
 
 #[cfg(test)]

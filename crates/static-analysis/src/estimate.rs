@@ -149,10 +149,17 @@ pub fn analyze(source: &str, opts: &AnalyzeOptions) -> SourceAnalysis {
     let mut file_tally = OpTally::default();
     tally_flat(&tokens, (0, tokens.len()), &file_symbols, &mut file_tally);
 
-    SourceAnalysis { kernels, file_tally }
+    SourceAnalysis {
+        kernels,
+        file_tally,
+    }
 }
 
-fn analyze_kernel(tokens: &[Token], region: &KernelRegion, opts: &AnalyzeOptions) -> KernelAnalysis {
+fn analyze_kernel(
+    tokens: &[Token],
+    region: &KernelRegion,
+    opts: &AnalyzeOptions,
+) -> KernelAnalysis {
     // Symbol table: parameters + body declarations.
     let mut symbols = BTreeMap::new();
     if let Some((ps, pe)) = region.params {
@@ -210,9 +217,9 @@ fn walk(
         tally_flat(tokens, (cursor, lp.at), symbols, &mut flat);
         tally.add_scaled(&flat, weight);
 
-        let trip = if omp_outer && depth == 0 {
-            1.0 // parallel dimension: one iteration per thread
-        } else if !opts.loop_aware {
+        // The parallel dimension of an OMP outer loop contributes one
+        // iteration per thread; loop-unaware analysis flattens every loop.
+        let trip = if (omp_outer && depth == 0) || !opts.loop_aware {
             1.0
         } else {
             resolve_trip(lp.bound.as_ref(), opts)
@@ -243,7 +250,9 @@ fn walk(
 
 fn resolve_trip(bound: Option<&Token>, opts: &AnalyzeOptions) -> f64 {
     match bound {
-        Some(t) if t.kind == TokenKind::Number => parse_number(&t.text).unwrap_or(opts.default_trip),
+        Some(t) if t.kind == TokenKind::Number => {
+            parse_number(&t.text).unwrap_or(opts.default_trip)
+        }
         Some(t) if t.kind == TokenKind::Ident => opts
             .params
             .get(&t.text)
@@ -254,12 +263,13 @@ fn resolve_trip(bound: Option<&Token>, opts: &AnalyzeOptions) -> f64 {
 }
 
 fn parse_number(text: &str) -> Option<f64> {
-    let clean: String = text
-        .trim_end_matches(|c: char| c.is_ascii_alphabetic())
-        .to_string();
-    if let Some(hex) = clean.strip_prefix("0x").or_else(|| clean.strip_prefix("0X")) {
-        return u64::from_str_radix(hex, 16).ok().map(|v| v as f64);
+    // Check for a hex prefix *before* stripping suffix letters: hex digits
+    // are alphabetic, so trimming first would eat them (0xFF -> "0").
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        let digits = hex.trim_end_matches(['u', 'U', 'l', 'L']);
+        return u64::from_str_radix(digits, 16).ok().map(|v| v as f64);
     }
+    let clean = text.trim_end_matches(|c: char| c.is_ascii_alphabetic());
     clean.parse::<f64>().ok()
 }
 
@@ -346,9 +356,7 @@ fn is_operand_end(tokens: &[Token], i: usize) -> bool {
         return false;
     }
     let prev = &tokens[i - 1];
-    matches!(prev.kind, TokenKind::Ident | TokenKind::Number)
-        || prev.is(")")
-        || prev.is("]")
+    matches!(prev.kind, TokenKind::Ident | TokenKind::Number) || prev.is(")") || prev.is("]")
 }
 
 fn is_builtin_index(name: &str) -> bool {
@@ -534,6 +542,17 @@ mod tests {
         analyze(src, &AnalyzeOptions::default())
     }
 
+    #[test]
+    fn parse_number_handles_hex_decimal_and_suffixes() {
+        assert_eq!(parse_number("0xFF"), Some(255.0));
+        assert_eq!(parse_number("0X1F"), Some(31.0));
+        assert_eq!(parse_number("0xFFu"), Some(255.0));
+        assert_eq!(parse_number("100"), Some(100.0));
+        assert_eq!(parse_number("1024u"), Some(1024.0));
+        assert_eq!(parse_number("2.5f"), Some(2.5));
+        assert_eq!(parse_number("abc"), None);
+    }
+
     const SAXPY: &str = r#"
 __global__ void saxpy(int n, float a, const float* x, float* y) {
     int i = blockIdx.x * blockDim.x + threadIdx.x;
@@ -549,10 +568,18 @@ __global__ void saxpy(int n, float a, const float* x, float* y) {
         let k = &a.kernels[0];
         assert_eq!(k.name, "saxpy");
         // a * x[i] and + y[i]: two SP flops.
-        assert!((k.tally.flops_sp - 2.0).abs() < 1e-9, "sp={}", k.tally.flops_sp);
+        assert!(
+            (k.tally.flops_sp - 2.0).abs() < 1e-9,
+            "sp={}",
+            k.tally.flops_sp
+        );
         assert_eq!(k.tally.flops_dp, 0.0);
         // Reads x[i], y[i]; writes y[i]: 8 read + 4 written.
-        assert!((k.tally.read_bytes - 8.0).abs() < 1e-9, "rd={}", k.tally.read_bytes);
+        assert!(
+            (k.tally.read_bytes - 8.0).abs() < 1e-9,
+            "rd={}",
+            k.tally.read_bytes
+        );
         assert!((k.tally.write_bytes - 4.0).abs() < 1e-9);
     }
 
@@ -586,7 +613,11 @@ __global__ void iterate(float* out) {
         let a = analyze_default(src);
         let k = &a.kernels[0];
         // 2 SP flops per iteration × 100.
-        assert!((k.tally.flops_sp - 200.0).abs() < 1e-9, "sp={}", k.tally.flops_sp);
+        assert!(
+            (k.tally.flops_sp - 200.0).abs() < 1e-9,
+            "sp={}",
+            k.tally.flops_sp
+        );
         assert_eq!(k.max_loop_depth, 1);
         assert!((k.trip_weight - 100.0).abs() < 1e-9);
     }
@@ -616,7 +647,10 @@ __global__ void heavy(float* out) {
     for (int i = 0; i < 100000; i++) { out[0] += 1.0f; }
 }
 "#;
-        let opts = AnalyzeOptions { loop_aware: false, ..Default::default() };
+        let opts = AnalyzeOptions {
+            loop_aware: false,
+            ..Default::default()
+        };
         let a = analyze(src, &opts);
         assert!(a.kernels[0].tally.flops_sp <= 2.0);
     }
@@ -667,7 +701,11 @@ __global__ void mm(const float* a, const float* b, float* c) {
         let a = analyze_default(src);
         let k = &a.kernels[0];
         // 2 SP flops × 128 iterations.
-        assert!((k.tally.flops_sp - 256.0).abs() < 1e-9, "sp={}", k.tally.flops_sp);
+        assert!(
+            (k.tally.flops_sp - 256.0).abs() < 1e-9,
+            "sp={}",
+            k.tally.flops_sp
+        );
         assert_eq!(k.max_loop_depth, 2);
         assert!((k.trip_weight - 128.0).abs() < 1e-9);
     }

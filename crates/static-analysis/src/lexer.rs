@@ -40,8 +40,8 @@ impl Token {
 
 /// Multi-character operators, longest-match-first.
 const MULTI_PUNCT: [&str; 26] = [
-    "<<<", ">>>", "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
-    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "##",
+    "<<<", ">>>", "<<=", ">>=", "...", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+    "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "::", "##",
 ];
 
 /// Lex a source string into tokens.
@@ -102,7 +102,10 @@ pub fn lex(source: &str) -> Vec<Token> {
             while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
-            tokens.push(Token { kind: TokenKind::Ident, text: source[start..i].to_string() });
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: source[start..i].to_string(),
+            });
             continue;
         }
         // Number (ints, floats, hex, suffixes like f/u/l, exponents).
@@ -125,7 +128,10 @@ pub fn lex(source: &str) -> Vec<Token> {
                 }
                 i += 1;
             }
-            tokens.push(Token { kind: TokenKind::Number, text: source[start..i].to_string() });
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: source[start..i].to_string(),
+            });
             continue;
         }
         // String / char literal.
@@ -140,19 +146,28 @@ pub fn lex(source: &str) -> Vec<Token> {
                 i += 1;
             }
             i = (i + 1).min(bytes.len());
-            tokens.push(Token { kind: TokenKind::Str, text: source[start..i].to_string() });
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: source[start..i].to_string(),
+            });
             continue;
         }
         // Multi-char punctuation, longest first.
         let rest = &source[i..];
         if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
-            tokens.push(Token { kind: TokenKind::Punct, text: (*op).to_string() });
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: (*op).to_string(),
+            });
             i += op.len();
             continue;
         }
         // Single char (UTF-8 aware).
         let ch_len = rest.chars().next().map(char::len_utf8).unwrap_or(1);
-        tokens.push(Token { kind: TokenKind::Punct, text: rest[..ch_len].to_string() });
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: rest[..ch_len].to_string(),
+        });
         i += ch_len;
     }
     tokens
@@ -171,7 +186,9 @@ mod tests {
         let toks = texts("y[i] = a * x[i] + y[i];");
         assert_eq!(
             toks,
-            vec!["y", "[", "i", "]", "=", "a", "*", "x", "[", "i", "]", "+", "y", "[", "i", "]", ";"]
+            vec![
+                "y", "[", "i", "]", "=", "a", "*", "x", "[", "i", "]", "+", "y", "[", "i", "]", ";"
+            ]
         );
     }
 
@@ -228,7 +245,9 @@ mod tests {
     #[test]
     fn leading_dot_floats_lex_as_numbers() {
         let toks = lex("x = .5f;");
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Number && t.text == ".5f"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number && t.text == ".5f"));
     }
 
     #[test]

@@ -99,10 +99,7 @@ pub fn find_kernels(tokens: &[Token]) -> Vec<KernelRegion> {
             }
         }
         // OMP: #pragma omp target ... followed by a loop or block.
-        if t.kind == TokenKind::Pragma
-            && t.text.contains("omp")
-            && t.text.contains("target")
-        {
+        if t.kind == TokenKind::Pragma && t.text.contains("omp") && t.text.contains("target") {
             if let Some(region) = parse_omp_region(tokens, i, omp_counter) {
                 omp_counter += 1;
                 i = region.body.1;
@@ -293,9 +290,8 @@ mod tests {
 
     #[test]
     fn finds_multiple_kernels() {
-        let toks = lex(
-            "__global__ void a() { } __global__ void b() { int x = 0; } void host() { }",
-        );
+        let toks =
+            lex("__global__ void a() { } __global__ void b() { int x = 0; } void host() { }");
         let names: Vec<_> = find_kernels(&toks).into_iter().map(|k| k.name).collect();
         assert_eq!(names, vec!["a", "b"]);
     }

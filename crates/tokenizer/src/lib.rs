@@ -20,6 +20,26 @@
 //! and the box-plot statistics — so fidelity to the exact OpenAI vocabulary
 //! is not required, but the tokenizer is a real, lossless BPE.
 //!
+//! ## Performance
+//!
+//! Training and encoding sit on the critical path of every experiment
+//! (the §2.2 funnel tokenizes the whole corpus), so both are the fast
+//! variants of the textbook algorithms:
+//!
+//! * [`BpeTrainer`](train::BpeTrainer) is *incremental*: a pair→frequency
+//!   map, a pair→words inverted index, and a lazily-validated max-heap
+//!   replace the per-merge global recount — O(corpus + vocab·log corpus)
+//!   instead of O(vocab × corpus) — with rayon-parallel initial chunk
+//!   counting.
+//! * [`Tokenizer::encode`](bpe::Tokenizer::encode) merges each chunk with
+//!   a linked list + min-heap in O(n log n) and memoizes per-chunk results
+//!   in a sharded cache; [`encode_batch`](bpe::Tokenizer::encode_batch) /
+//!   [`count_batch`](bpe::Tokenizer::count_batch) fan out across threads.
+//!
+//! The original naive algorithms live on in [`reference`] as the
+//! correctness oracle (property-tested bit-identical) and the benchmark
+//! baseline.
+//!
 //! ```
 //! use pce_tokenizer::{BpeTrainer, Tokenizer};
 //!
@@ -35,6 +55,7 @@
 
 pub mod bpe;
 pub mod pretokenizer;
+pub mod reference;
 pub mod stats;
 pub mod train;
 

@@ -44,8 +44,7 @@ pub fn pretokenize(text: &str) -> Vec<&str> {
                 } else {
                     // Single punctuation character; advance a whole UTF-8
                     // scalar so multi-byte characters stay intact.
-                    let ch_len =
-                        text[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+                    let ch_len = text[i..].chars().next().map(char::len_utf8).unwrap_or(1);
                     i += ch_len;
                 }
             } else {
@@ -63,7 +62,11 @@ pub fn pretokenize(text: &str) -> Vec<&str> {
             // Any other byte (punctuation, UTF-8 continuation lead bytes):
             // advance one full UTF-8 scalar to keep chunk boundaries on
             // character boundaries.
-            let ch_len = text[start..].chars().next().map(char::len_utf8).unwrap_or(1);
+            let ch_len = text[start..]
+                .chars()
+                .next()
+                .map(char::len_utf8)
+                .unwrap_or(1);
             i += ch_len;
         }
         chunks.push(&text[start..i]);

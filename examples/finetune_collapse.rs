@@ -29,9 +29,18 @@ fn main() {
         .iter()
         .map(|s| (prompt_for_sample(&study, s, ShotStyle::ZeroShot), s.label))
         .collect();
+    // A sane schedule gentles *every* pathological knob, not just the
+    // learning rate: the default answer-prior rate and weight decay are
+    // the collapse drivers.
     let gentle = FineTuneJob::new(
         train,
-        FineTuneConfig { learning_rate: 0.2, epochs: 8, ..Default::default() },
+        FineTuneConfig {
+            learning_rate: 0.2,
+            epochs: 8,
+            answer_prior_rate: 1.0,
+            weight_decay: 0.0,
+            ..Default::default()
+        },
     )
     .run();
     let correct = data

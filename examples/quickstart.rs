@@ -15,9 +15,16 @@ use parallel_code_estimation::roofline::{classify_joint, HardwareSpec};
 
 fn main() {
     // 1. A small HeCBench-like corpus (deterministic, seeded).
-    let corpus = build_corpus(&CorpusConfig { seed: 42, cuda_programs: 12, omp_programs: 6 });
+    let corpus = build_corpus(&CorpusConfig {
+        seed: 42,
+        cuda_programs: 12,
+        omp_programs: 6,
+    });
     let program = &corpus[1];
-    println!("program {} ({} kernel '{}')", program.id, program.language, program.kernel_name);
+    println!(
+        "program {} ({} kernel '{}')",
+        program.id, program.language, program.kernel_name
+    );
 
     // 2. Profile it on the simulated RTX 3080 — the paper's ground truth.
     let hw = HardwareSpec::rtx_3080();
@@ -26,7 +33,11 @@ fn main() {
 
     // 3. The three-roofline joint label (§2.1).
     let joint = classify_joint(&hw, &profile.counts);
-    println!("ground truth: {} (CB classes: {:?})\n", joint.label, joint.compute_bound_classes());
+    println!(
+        "ground truth: {} (CB classes: {:?})\n",
+        joint.label,
+        joint.compute_bound_classes()
+    );
 
     // 4. Ask two surrogate LLMs, zero-shot, from source only (Fig. 4).
     let prompt = render_classify_prompt(

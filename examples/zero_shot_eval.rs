@@ -42,7 +42,11 @@ fn main() {
         println!(
             "  McNemar RQ2 vs RQ3: p = {:.3} -> {}",
             mc.p_value,
-            if mc.significant_at(0.05) { "different" } else { "no significant difference" }
+            if mc.significant_at(0.05) {
+                "different"
+            } else {
+                "no significant difference"
+            }
         );
     }
     println!("\nsimulated API spend: ${:.2}", engine.meter().total_cost());

@@ -16,7 +16,11 @@ use parallel_code_estimation::static_analysis::{analyze, AnalyzeOptions};
 use pce_llm::parse::{bind_args_to_params, parse_classify, parse_rq1};
 
 fn corpus() -> Vec<parallel_code_estimation::kernels::Program> {
-    build_corpus(&CorpusConfig { seed: 77, cuda_programs: 40, omp_programs: 24 })
+    build_corpus(&CorpusConfig {
+        seed: 77,
+        cuda_programs: 40,
+        omp_programs: 24,
+    })
 }
 
 #[test]
@@ -83,16 +87,24 @@ fn arg_binding_recovers_problem_sizes_from_generated_mains() {
             }
         }
     }
-    assert!(bound * 10 >= total * 9, "arg binding should succeed for most programs: {bound}/{total}");
+    assert!(
+        bound * 10 >= total * 9,
+        "arg binding should succeed for most programs: {bound}/{total}"
+    );
 }
 
 /// Find which positional argument a scalar is parsed from (testing aid).
 fn first_scalar_position(source: &str, name: &str) -> Option<usize> {
     for line in source.lines() {
         let t = line.trim_start();
-        if t.contains(&format!(" {name} = (argc > ")) || t.starts_with(&format!("{name} = (argc > ")) {
+        if t.contains(&format!(" {name} = (argc > "))
+            || t.starts_with(&format!("{name} = (argc > "))
+        {
             let idx = t.find("argc > ")? + "argc > ".len();
-            let n: String = t[idx..].chars().take_while(|c| c.is_ascii_digit()).collect();
+            let n: String = t[idx..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect();
             return n.parse::<usize>().ok().map(|k| k - 1);
         }
     }
@@ -140,7 +152,13 @@ fn simulator_and_analyzer_agree_on_flop_precision_class() {
         for (k, v) in &p.launch.params {
             params.insert(k.clone(), *v);
         }
-        let analysis = analyze(&p.source, &AnalyzeOptions { params, ..Default::default() });
+        let analysis = analyze(
+            &p.source,
+            &AnalyzeOptions {
+                params,
+                ..Default::default()
+            },
+        );
         let kernel = analysis
             .kernels
             .iter()
@@ -152,5 +170,27 @@ fn simulator_and_analyzer_agree_on_flop_precision_class() {
         } else if profile.counts.flops_sp > 0 {
             assert!(kernel.tally.flops_sp > 0.0, "{}: SP mismatch", p.id);
         }
+    }
+}
+
+#[test]
+fn fast_bpe_matches_naive_reference_on_a_real_corpus_at_vocab_1200() {
+    // The acceptance bar for the tokenizer fast path: at the pipeline's
+    // default vocabulary (1200) over generated corpus source, the
+    // incremental trainer must produce a bit-identical merge table to the
+    // naive recount-per-merge reference, and the heap-merge encoder must
+    // produce identical ids.
+    use parallel_code_estimation::tokenizer::{reference, BpeTrainer, Tokenizer};
+    let programs = corpus();
+    let docs: Vec<&str> = programs.iter().map(|p| p.source.as_str()).collect();
+    let fast = BpeTrainer::new(1200).train(docs.iter().copied());
+    let naive = reference::naive_train(1200, 2, docs.iter().copied());
+    assert_eq!(fast, naive, "merge tables diverged at vocab 1200");
+
+    let tok = Tokenizer::new(fast);
+    for (p, doc) in programs.iter().zip(&docs) {
+        let heap_ids = tok.encode(doc);
+        assert_eq!(heap_ids, reference::naive_encode(&tok, doc), "{}", p.id);
+        assert_eq!(tok.decode(&heap_ids), **doc, "{}: lossless decode", p.id);
     }
 }

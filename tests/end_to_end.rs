@@ -94,12 +94,7 @@ fn rq4_collapse_reproduces() {
 fn hyperparameter_insensitivity_reproduces() {
     let (study, data) = study_and_data();
     let engine = SurrogateEngine::new();
-    let check = run_hyperparam_check(
-        &study,
-        &engine,
-        "gpt-4o-2024-11-20",
-        &data.dataset.samples,
-    );
+    let check = run_hyperparam_check(&study, &engine, "gpt-4o-2024-11-20", &data.dataset.samples);
     assert!(!check.chi2.significant_at(0.05));
 }
 
@@ -122,7 +117,10 @@ fn table1_smoke_has_paper_structure() {
     assert_eq!(table.rows.len(), 9);
     let text = report::render_table1(&table);
     assert!(text.contains("o3-mini-high"));
-    assert!(text.contains("| – | – |") || text.contains("| – |"), "omitted RQ1 cells render as –");
+    assert!(
+        text.contains("| – | – |") || text.contains("| – |"),
+        "omitted RQ1 cells render as –"
+    );
     // Ground truth labels are balanced, so a majority-class predictor
     // cannot exceed ~50% + noise; every model should beat MCC -100.
     for row in &table.rows {

@@ -8,7 +8,7 @@ use parallel_code_estimation::gpu_sim::memory::coalescing_factor;
 use parallel_code_estimation::gpu_sim::AccessPattern;
 use parallel_code_estimation::metrics::{chi_squared_independence, ConfusionMatrix};
 use parallel_code_estimation::roofline::{Boundedness, OpClass, OpCounts, Roofline};
-use parallel_code_estimation::tokenizer::{token_quartiles, BpeTrainer, Tokenizer};
+use parallel_code_estimation::tokenizer::{reference, token_quartiles, BpeTrainer, Tokenizer};
 
 proptest! {
     #[test]
@@ -93,6 +93,64 @@ proptest! {
     fn tokenizer_roundtrips_unicode(text in "\\PC{0,80}") {
         let tok = Tokenizer::new(BpeTrainer::new(300).train(["hello world"]));
         prop_assert_eq!(tok.decode(&tok.encode(&text)), text);
+    }
+
+    #[test]
+    fn fast_trainer_matches_naive_reference(
+        docs in prop::collection::vec("[ -~\n\t]{0,60}", 1..8),
+        extra_vocab in 0usize..80,
+        min_freq in 1u64..4,
+    ) {
+        // The incremental trainer must produce a bit-identical merge
+        // table to the naive recount-per-merge reference: same argmax
+        // (freq desc, then smallest pair), same merge application, same
+        // stopping rule.
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let vocab_size = 256 + extra_vocab;
+        let fast = BpeTrainer::new(vocab_size)
+            .min_frequency(min_freq)
+            .train(refs.iter().copied());
+        let naive = reference::naive_train(vocab_size, min_freq, refs.iter().copied());
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn fast_encoder_matches_naive_reference(
+        corpus in "[a-z {}();=+*\n]{20,200}",
+        text in "[ -~\n\t]{0,150}",
+    ) {
+        // The heap-merge encoder must produce exactly the ids the naive
+        // lowest-rank-first rescan produces, on text unrelated to the
+        // training corpus.
+        let tok = Tokenizer::new(BpeTrainer::new(350).train([corpus.as_str()]));
+        prop_assert_eq!(tok.encode(&text), reference::naive_encode(&tok, &text));
+    }
+
+    #[test]
+    fn trained_tokenizer_roundtrips_its_own_corpus(
+        docs in prop::collection::vec("\\PC{0,50}", 1..6),
+    ) {
+        // Training on arbitrary unicode then encoding the very same
+        // documents must be lossless.
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let tok = Tokenizer::new(BpeTrainer::new(320).train(refs.iter().copied()));
+        for doc in &docs {
+            prop_assert_eq!(&tok.decode(&tok.encode(doc)), doc);
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_sequential_encoding(
+        docs in prop::collection::vec("[ -~]{0,80}", 1..10),
+    ) {
+        let tok = Tokenizer::new(BpeTrainer::new(300).train(["shared training corpus text"]));
+        let refs: Vec<&str> = docs.iter().map(|s| s.as_str()).collect();
+        let batch_ids = tok.encode_batch(&refs);
+        let batch_counts = tok.count_batch(&refs);
+        for (i, doc) in docs.iter().enumerate() {
+            prop_assert_eq!(&batch_ids[i], &tok.encode(doc));
+            prop_assert_eq!(batch_counts[i], batch_ids[i].len());
+        }
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Vendored minimal benchmark harness exposing the subset of the
+//! `criterion` API this workspace uses: `Criterion`, `benchmark_group`
+//! (`throughput`, `sample_size`, `bench_function`, `finish`), `Bencher`
+//! (`iter`, `iter_batched`), `Throughput`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: a short warm-up sizes the per-sample iteration
+//! count so one sample takes ~`SAMPLE_TARGET`; `sample_size` samples are
+//! timed and the median per-iteration time (plus throughput, when set) is
+//! printed. Honors positional CLI args as substring filters, so
+//! `cargo bench -p pce-bench --bench tokenizer -- train` runs only
+//! matching benchmarks. `PCE_BENCH_FAST=1` shrinks the workload for CI
+//! smoke runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_TARGET: Duration = Duration::from_millis(150);
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Input bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing hint for `iter_batched` (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small setup output.
+    SmallInput,
+    /// Large setup output.
+    LargeInput,
+    /// Fresh setup every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    filters: Vec<String>,
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        let fast = std::env::var("PCE_BENCH_FAST").is_ok_and(|v| v != "0");
+        Criterion { filters, fast }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, None, 10, self.fast, &self.filters, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(
+            &full,
+            self.throughput,
+            self.sample_size,
+            self.criterion.fast,
+            &self.criterion.filters,
+            f,
+        );
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    /// Iterations to run this sample.
+    iters: u64,
+    /// Accumulated measured time for this sample.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` for the sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    fast: bool,
+    filters: &[String],
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !filters.is_empty() && !filters.iter().any(|pat| id.contains(pat.as_str())) {
+        return;
+    }
+
+    // Warm-up: find an iteration count whose sample takes ~SAMPLE_TARGET.
+    let mut iters = 1u64;
+    let warmup_deadline = if fast {
+        WARMUP_TARGET / 10
+    } else {
+        WARMUP_TARGET
+    };
+    let warmup_start = Instant::now();
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b
+            .elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(Duration::ZERO);
+        if warmup_start.elapsed() >= warmup_deadline || per_iter >= warmup_deadline {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    let target = if fast {
+        SAMPLE_TARGET / 10
+    } else {
+        SAMPLE_TARGET
+    };
+    let sample_iters = if per_iter.is_zero() {
+        iters
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64
+    };
+    let samples = if fast {
+        sample_size.min(5)
+    } else {
+        sample_size
+    };
+
+    // Measurement.
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: sample_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / sample_iters as f64);
+    }
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let best = per_iter_ns[0];
+    let worst = *per_iter_ns.last().unwrap();
+
+    let mut line = format!(
+        "{id:<44} time: [{} {} {}]",
+        fmt_time(best),
+        fmt_time(median),
+        fmt_time(worst)
+    );
+    if let Some(t) = throughput {
+        let per_sec = 1e9 / median;
+        match t {
+            Throughput::Bytes(n) => {
+                let mib = n as f64 * per_sec / (1024.0 * 1024.0);
+                line.push_str(&format!("  thrpt: {mib:.1} MiB/s"));
+            }
+            Throughput::Elements(n) => {
+                let elems = n as f64 * per_sec;
+                line.push_str(&format!("  thrpt: {elems:.1} elem/s"));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+fn fmt_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Build a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut c = Criterion {
+            filters: Vec::new(),
+            fast: true,
+        };
+        c.bench_function("smoke/noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Bytes(1024));
+        g.sample_size(3);
+        g.bench_function("vec_push", |b| {
+            b.iter_batched(
+                Vec::<u32>::new,
+                |mut v| {
+                    v.push(1);
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn filters_skip_non_matching() {
+        let c = Criterion {
+            filters: vec!["nomatch".into()],
+            fast: true,
+        };
+        // Closure would panic if run; filtering must skip it.
+        let mut c = c;
+        c.bench_function("other/name", |_b| panic!("should not run"));
+    }
+}

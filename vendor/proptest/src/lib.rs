@@ -1,0 +1,134 @@
+//! Vendored minimal property-testing harness exposing the subset of the
+//! `proptest` API this workspace uses: the `proptest!` macro over
+//! `arg in strategy` bindings, `prop_assert!` / `prop_assert_eq!`, range
+//! and regex-pattern strategies, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Each property runs `PROPTEST_CASES` (default 48) deterministic cases:
+//! the RNG is seeded from the test name, so failures reproduce exactly.
+//! Shrinking is not implemented — failing inputs are printed instead.
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Deterministic per-test RNG.
+pub mod test_runner {
+    use rand::SeedableRng;
+    pub use rand_chacha::ChaCha8Rng as TestRng;
+
+    /// Seed an RNG from a test name (FNV-1a), so each property gets a
+    /// stable, distinct stream.
+    pub fn rng_for(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES` env override).
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(48)
+    }
+}
+
+/// Strategy constructors, mirroring proptest's `prop::` module tree.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::{Strategy, VecStrategy};
+
+        /// A vector whose length is drawn from `size` and whose elements
+        /// are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly select one of the given values.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty options");
+            Select { options }
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property (panics with the failing-case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running many sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)*
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {}/{} with inputs:",
+                        stringify!($name), case + 1, cases
+                    );
+                    $(eprintln!("  {} = {:?}", stringify!($arg), $arg);)*
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}

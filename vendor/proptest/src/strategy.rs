@@ -1,0 +1,292 @@
+//! Value-generation strategies.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// Something that can generate sampled values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.start as f64..self.end as f64) as f32
+    }
+}
+
+/// Uniform choice from a fixed list (`prop::sample::select`).
+pub struct Select<T> {
+    pub(crate) options: Vec<T>,
+}
+
+impl<T: Clone + std::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Vector of values from an element strategy (`prop::collection::vec`).
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: std::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// String-pattern strategies: a small regex-shaped subset.
+///
+/// Supported syntax (everything this workspace's properties use):
+/// * `[...]` character classes with ranges (`a-z`), literals, and the
+///   escapes `\n`, `\r`, `\t`, `\\`, `\]`, `\-`,
+/// * `\PC` — "any non-control character", including multibyte unicode,
+/// * `{lo,hi}` repetition on the preceding atom,
+/// * bare literal characters.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let reps = rng.gen_range(*lo..=*hi);
+            for _ in 0..reps {
+                out.push(atom.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    /// Explicit character set.
+    Class(Vec<char>),
+    /// Any non-control character (ASCII-weighted, with unicode tail).
+    AnyPrintable,
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Class(chars) => chars[rng.gen_range(0..chars.len())],
+            Atom::AnyPrintable => {
+                if rng.gen_bool(0.8) {
+                    // Printable ASCII.
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                } else {
+                    // Arbitrary non-control unicode scalar.
+                    loop {
+                        let cp = rng.gen_range(0x20u32..0x11_0000);
+                        if let Some(c) = char::from_u32(cp) {
+                            if !c.is_control() {
+                                return c;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') | Some('p') => {
+                        // \PC / \pC — treat as "any printable".
+                        i += 2; // skip the category letter
+                        Atom::AnyPrintable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Atom::Class(vec![unescape(c)])
+                    }
+                    None => panic!("pattern ends with bare backslash: {pat:?}"),
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        // Optional {lo,hi} repetition.
+        let (lo, hi) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{}} in pattern {pat:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        // Range `a-z`?
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&n| n != ']') {
+            let mut end = chars[i + 2];
+            let mut consumed = 3;
+            if end == '\\' {
+                end = unescape(chars[i + 3]);
+                consumed = 4;
+            }
+            for cp in (c as u32)..=(end as u32) {
+                if let Some(ch) = char::from_u32(cp) {
+                    set.push(ch);
+                }
+            }
+            i += consumed;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unclosed character class");
+    (set, i + 1) // skip ']'
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        'r' => '\r',
+        't' => '\t',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ascii_class_pattern_stays_in_class() {
+        let mut rng = rng_for("ascii");
+        for _ in 0..50 {
+            let s = "[ -~\n\t]{0,40}".generate(&mut rng);
+            assert!(s.len() <= 40 * 4);
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n' || c == '\t'));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let mut rng = rng_for("printable");
+        for _ in 0..50 {
+            let s = "\\PC{0,80}".generate(&mut rng);
+            assert!(s.chars().count() <= 80);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn lowercase_range_pattern() {
+        let mut rng = rng_for("lower");
+        for _ in 0..50 {
+            let s = "[a-z ]{0,80}".generate(&mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+        }
+    }
+
+    #[test]
+    fn numeric_ranges_in_bounds() {
+        let mut rng = rng_for("nums");
+        for _ in 0..100 {
+            let x = (1.0f64..1e5).generate(&mut rng);
+            assert!((1.0..1e5).contains(&x));
+            let n = (1u64..1000).generate(&mut rng);
+            assert!((1..1000).contains(&n));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_strategies() {
+        use crate::prop;
+        let mut rng = rng_for("vecsel");
+        let v = prop::collection::vec(0usize..100, 1..20).generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 20);
+        assert!(v.iter().all(|&x| x < 100));
+        let s = prop::sample::select(vec![1u64, 2, 4]).generate(&mut rng);
+        assert!([1, 2, 4].contains(&s));
+    }
+}

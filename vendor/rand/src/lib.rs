@@ -1,0 +1,298 @@
+//! Vendored minimal stand-in for the `rand` crate, faithful to the
+//! rand 0.8.5 *sampling semantics* so that seeded streams match a build
+//! against the real crate:
+//!
+//! * `SeedableRng::seed_from_u64` expands with PCG32 (rand_core 0.6),
+//! * integer `gen_range` uses widening-multiply + zone rejection at the
+//!   same word width as upstream (u32-wide for ≤32-bit types, u64-wide
+//!   for 64-bit types),
+//! * float `gen_range` maps `u64 >> 12` into `[1, 2)` and scales,
+//! * `gen_bool` compares one `u64` draw against `(p · 2⁶⁴)`,
+//! * `shuffle`/`choose` index via a u32-wide draw when the bound fits.
+//!
+//! Only the API surface this workspace uses is provided.
+
+pub mod seq;
+
+/// The core RNG interface: a stream of uniform random words.
+pub trait RngCore {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction, including the convenience `seed_from_u64`.
+pub trait SeedableRng: Sized {
+    /// The seed byte array type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding with PCG32 exactly as
+    /// rand_core 0.6 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of [0,1]: {p}");
+        if p == 1.0 {
+            // rand 0.8's Bernoulli ALWAYS_TRUE path draws nothing, so the
+            // stream must not advance here either.
+            return true;
+        }
+        // rand 0.8: threshold = p * 2^64, one u64 draw.
+        let p_int = (p * 2f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that can produce a uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Widening multiply helpers matching rand's WideningMultiply (hi, lo).
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = a as u64 * b as u64;
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = a as u128 * b as u128;
+    ((t >> 64) as u64, t as u64)
+}
+
+/// Sample uniformly from `[0, range)` with a u32-wide draw (rand 0.8's
+/// `sample_single` zone-rejection; `range == 0` means the full domain).
+#[inline]
+fn sample_u32<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    if range == 0 {
+        return rng.next_u32();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = wmul32(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Sample uniformly from `[0, range)` with a u64-wide draw.
+#[inline]
+fn sample_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    if range == 0 {
+        return rng.next_u64();
+    }
+    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+    loop {
+        let v = rng.next_u64();
+        let (hi, lo) = wmul64(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+/// Small-int (≤16-bit) path: modulo-derived zone over a u32 draw,
+/// mirroring rand's dedicated i8/i16 branch.
+#[inline]
+fn sample_small<R: RngCore + ?Sized>(rng: &mut R, range: u32) -> u32 {
+    debug_assert!(range > 0);
+    let ints_to_reject = (u32::MAX - range + 1) % range;
+    let zone = u32::MAX - ints_to_reject;
+    loop {
+        let v = rng.next_u32();
+        let (hi, lo) = wmul32(v, range);
+        if lo <= zone {
+            return hi;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty => $via:ident, $wide:ty);* $(;)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = self.end.wrapping_sub(self.start) as $wide;
+                let draw = $via(rng, range);
+                self.start.wrapping_add(draw as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                // Wraps to 0 on the full domain, which $via treats as
+                // "any word" — matching rand's inclusive sampler.
+                let range = (end.wrapping_sub(start) as $wide).wrapping_add(1);
+                let draw = $via(rng, range);
+                start.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_int_range!(
+    u8 => sample_small, u32;
+    u16 => sample_small, u32;
+    i8 => sample_small, u32;
+    i16 => sample_small, u32;
+    u32 => sample_u32, u32;
+    i32 => sample_u32, u32;
+    u64 => sample_u64, u64;
+    i64 => sample_u64, u64;
+    usize => sample_u64, u64;
+    isize => sample_u64, u64;
+);
+
+// Only f64 gets a float impl: a second float impl (f32) breaks `{float}`
+// literal inference at call sites like `gen_range(0.1..1.0)` that
+// constrain the result only through projections (`Neg::Output`).
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        loop {
+            // rand 0.8: 52 fraction bits into [1, 2), then scale.
+            let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+            let res = value1_2 * scale + (self.start - scale);
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let z = rng.gen_range(0usize..3);
+            assert!(z < 3);
+            let w: u8 = rng.gen_range(0u8..=255);
+            let _ = w;
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(1.5f64..9.25);
+            assert!((1.5..9.25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn int_sampling_is_roughly_uniform() {
+        let mut rng = Lcg(3);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0..10) as usize] += 1;
+        }
+        assert!(
+            buckets.iter().all(|&b| (800..1200).contains(&b)),
+            "{buckets:?}"
+        );
+    }
+
+    #[test]
+    fn gen_bool_matches_probability_roughly() {
+        let mut rng = Lcg(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_600..3_400).contains(&hits), "{hits}");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn seed_expansion_matches_pcg32_reference() {
+        // Reference: rand_core 0.6 seed_from_u64(0) for a 32-byte seed.
+        struct Probe([u8; 32]);
+        impl SeedableRng for Probe {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Probe(seed)
+            }
+        }
+        let a = Probe::seed_from_u64(0).0;
+        let b = Probe::seed_from_u64(0).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Probe::seed_from_u64(1).0);
+        // PCG32 with state advanced once from 0 yields a fixed first word.
+        let mut state = 0u64
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(11634580027462260723);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        let first = xorshifted.rotate_right(rot);
+        assert_eq!(&a[..4], &first.to_le_bytes());
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(11634580027462260723);
+        let _ = state;
+    }
+}

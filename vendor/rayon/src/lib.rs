@@ -1,0 +1,322 @@
+//! Vendored minimal stand-in for `rayon`: slice-parallel iteration with
+//! real threads (`std::thread::scope`), covering the adapter chains this
+//! workspace uses: `par_iter().map(..).collect()`, `.enumerate().map(..)`,
+//! `.reduce(..)`, `.for_each(..)`, and `.sum()`.
+//!
+//! Items are partitioned into contiguous chunks, one per worker; results
+//! are reassembled in input order, so output is deterministic regardless
+//! of scheduling.
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelSlice};
+}
+
+/// Number of worker threads: the available parallelism, capped by length.
+fn workers(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Run `f(index, &item)` over the slice on a scoped thread team and return
+/// results in input order.
+fn run_indexed<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &'a T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nworkers = workers(n);
+    if nworkers == 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(nworkers);
+    let mut pieces: Vec<Vec<R>> = Vec::with_capacity(nworkers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, part)| {
+                let f = &f;
+                scope.spawn(move || {
+                    let base = w * chunk;
+                    part.iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            pieces.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in pieces {
+        out.extend(p);
+    }
+    out
+}
+
+/// Entry point: `.par_iter()` on slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Parallel map.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair every item with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Parallel for-each.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        run_indexed(self.items, |_, t| f(t));
+    }
+}
+
+/// `map` stage over plain items.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    /// Execute and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        run_indexed(self.items, |_, t| f(t)).into_iter().collect()
+    }
+
+    /// Execute and fold with `op` starting from `identity()`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> R
+    where
+        Id: Fn() -> R,
+        Op: Fn(R, R) -> R,
+    {
+        let f = self.f;
+        run_indexed(self.items, |_, t| f(t))
+            .into_iter()
+            .fold(identity(), op)
+    }
+
+    /// Execute and sum.
+    pub fn sum<S: std::iter::Sum<R>>(self) -> S {
+        let f = self.f;
+        run_indexed(self.items, |_, t| f(t)).into_iter().sum()
+    }
+}
+
+/// `enumerate` stage.
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Parallel map over `(index, &item)`.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// `map` stage over `(index, &item)` pairs.
+pub struct ParEnumMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParEnumMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn((usize, &'a T)) -> R + Sync,
+{
+    /// Execute and collect in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        run_indexed(self.items, |i, t| f((i, t)))
+            .into_iter()
+            .collect()
+    }
+
+    /// Execute and fold with `op` starting from `identity()`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> R
+    where
+        Id: Fn() -> R,
+        Op: Fn(R, R) -> R,
+    {
+        let f = self.f;
+        run_indexed(self.items, |i, t| f((i, t)))
+            .into_iter()
+            .fold(identity(), op)
+    }
+}
+
+/// The worker-thread count rayon would use (real rayon API).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parallel iteration over fixed-size sub-slices, mirroring rayon's
+/// `ParallelSlice::par_chunks` so callers stay source-compatible with the
+/// real crate.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over contiguous chunks of `chunk_size` items
+    /// (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks: chunk_size must be > 0");
+        ParChunks {
+            chunks: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Borrowed parallel iterator over sub-slices.
+pub struct ParChunks<'a, T> {
+    chunks: Vec<&'a [T]>,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Parallel map over each chunk.
+    pub fn map<R, F>(self, f: F) -> ParChunksMap<'a, T, F>
+    where
+        F: Fn(&'a [T]) -> R + Sync,
+        R: Send,
+    {
+        ParChunksMap {
+            chunks: self.chunks,
+            f,
+        }
+    }
+}
+
+/// `map` stage over sub-slices.
+pub struct ParChunksMap<'a, T, F> {
+    chunks: Vec<&'a [T]>,
+    f: F,
+}
+
+impl<'a, T, R, F> ParChunksMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    /// Execute and collect per-chunk results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let f = self.f;
+        run_indexed(&self.chunks, |_, part| f(part))
+            .into_iter()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_sees_correct_indices() {
+        let v = vec!["a"; 5000];
+        let idx: Vec<usize> = v.par_iter().enumerate().map(|(i, _)| i).collect();
+        assert_eq!(idx, (0..5000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_folds_everything() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let sum = v
+            .par_iter()
+            .map(|&x| (x, 1u64))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(sum, (500_500, 1000));
+    }
+
+    #[test]
+    fn chunk_map_covers_all_items() {
+        let v: Vec<u32> = (0..997).collect();
+        let partials: Vec<u64> = v
+            .par_chunks(100)
+            .map(|part| part.iter().map(|&x| x as u64).sum::<u64>())
+            .collect();
+        assert_eq!(partials.len(), 10);
+        assert_eq!(partials.iter().sum::<u64>(), (0..997u64).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

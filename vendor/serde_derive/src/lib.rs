@@ -1,0 +1,433 @@
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` for the vendored
+//! serde stand-in. Implemented directly on `proc_macro` token streams (no
+//! syn/quote in the offline build environment).
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * structs with named fields,
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics, tuple structs, and `#[serde(...)]` attributes are not
+//! supported and fail loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    let body = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive: generic type `{name}` is not supported")
+        }
+        other => panic!(
+            "serde_derive: `{name}`: expected braced body (tuple/unit structs unsupported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+/// Parse `attr* vis? name: Type,` sequences, returning the field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let field = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after `{field}`, got {other:?}"),
+        }
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        // Parens/brackets/braces arrive as single Group tokens, so only `<>`
+        // nesting needs explicit tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    toks.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                Some(_) => {
+                    toks.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(field);
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                toks.next();
+            } else {
+                break;
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_slots(g.stream());
+                toks.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Count comma-separated type slots at angle-depth 0 (tuple variant arity).
+fn count_tuple_slots(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut slots = 0usize;
+    let mut saw_tokens = false;
+    let mut slot_has_tokens = false;
+    for tok in stream {
+        saw_tokens = true;
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if slot_has_tokens {
+                    slots += 1;
+                    slot_has_tokens = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        slot_has_tokens = true;
+    }
+    if slot_has_tokens {
+        slots += 1;
+    }
+    let _ = saw_tokens;
+    slots
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            body.push_str("let mut m = ::serde::value::Map::new();\n");
+            for f in fields {
+                let _ = writeln!(
+                    body,
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));"
+                );
+            }
+            body.push_str("::serde::value::Value::Object(m)");
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn}(f0) => ::serde::value::Value::tagged(\
+                             \"{vn}\", ::serde::Serialize::to_value(f0)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn}({}) => ::serde::value::Value::tagged(\
+                             \"{vn}\", ::serde::value::Value::Array(vec![{}])),",
+                            binds.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inserts = String::new();
+                        for f in fields {
+                            let _ = writeln!(
+                                inserts,
+                                "m.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));"
+                            );
+                        }
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut m = ::serde::value::Map::new();\n{inserts}\
+                             ::serde::value::Value::tagged(\"{vn}\", \
+                             ::serde::value::Value::Object(m))\n}}"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::value::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    match &item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                let _ = writeln!(
+                    inits,
+                    "{f}: match m.get(\"{f}\") {{\n\
+                     Some(x) => ::serde::Deserialize::from_value(x)\
+                     .map_err(|e| e.at(\"{f}\"))?,\n\
+                     None => return Err(::serde::Error::missing(\"{name}\", \"{f}\")),\n}},"
+                );
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::value::Value::Object(m) => Ok({name} {{\n{inits}\n}}),\n\
+                 _ => Err(::serde::Error::expected(\"object\", \"{name}\")),\n\
+                 }}\n}}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(unit_arms, "\"{vn}\" => Ok({name}::{vn}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => ::serde::Deserialize::from_value(inner)\
+                             .map({name}::{vn}).map_err(|e| e.at(\"{vn}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(&a[{i}])\
+                                     .map_err(|e| e.at(\"{vn}\"))?"
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => match inner {{\n\
+                             ::serde::value::Value::Array(a) if a.len() == {n} => \
+                             Ok({name}::{vn}({})),\n\
+                             _ => Err(::serde::Error::expected(\
+                             \"{n}-element array\", \"{name}::{vn}\")),\n}},",
+                            elems.join(", ")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = writeln!(
+                                inits,
+                                "{f}: match fm.get(\"{f}\") {{\n\
+                                 Some(x) => ::serde::Deserialize::from_value(x)\
+                                 .map_err(|e| e.at(\"{f}\"))?,\n\
+                                 None => return Err(::serde::Error::missing(\
+                                 \"{name}::{vn}\", \"{f}\")),\n}},"
+                            );
+                        }
+                        let _ = writeln!(
+                            data_arms,
+                            "\"{vn}\" => match inner {{\n\
+                             ::serde::value::Value::Object(fm) => \
+                             Ok({name}::{vn} {{\n{inits}\n}}),\n\
+                             _ => Err(::serde::Error::expected(\
+                             \"object\", \"{name}::{vn}\")),\n}},"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::value::Value) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::value::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::value::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (tag, inner) = m.iter().next().unwrap();\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{data_arms}\
+                 other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::expected(\"variant\", \"{name}\")),\n\
+                 }}\n}}\n}}\n"
+            );
+        }
+    }
+    out.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
