@@ -1,0 +1,48 @@
+//! Regenerate the cross-hardware suite: one shared corpus/tokenizer/RQ1
+//! build, a per-spec Table 1 for every hardware preset, and the
+//! label-flip analysis.
+//!
+//! `--smoke` runs the reduced-scale study; `--specs <name,name,...>`
+//! restricts the hardware matrix (names resolve case/format-insensitively,
+//! e.g. `--specs "a100,rtx-4090,MI250X"`). Default is paper scale across
+//! the full preset catalog.
+
+use pce_bench::{parse_specs, study_from_args};
+use pce_core::report::{render_flips_csv, render_suite, render_suite_csv};
+use pce_core::suite::{run_suite, Suite};
+use pce_roofline::HardwareSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let specs = match args.iter().position(|a| a == "--specs") {
+        None => HardwareSpec::presets(),
+        Some(i) => {
+            let list = args.get(i + 1).map(String::as_str).unwrap_or("");
+            match parse_specs(list) {
+                Ok(specs) if !specs.is_empty() => specs,
+                Ok(_) => {
+                    eprintln!(
+                        "--specs needs a comma-separated list of preset names; known presets:\n  {}",
+                        HardwareSpec::preset_names().join("\n  ")
+                    );
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
+    let suite = Suite {
+        base: study_from_args(),
+        specs,
+    };
+    let outcome = run_suite(&suite);
+    println!("{}", render_suite(&outcome));
+    println!(
+        "### CSV — per-cell metrics\n\n{}",
+        render_suite_csv(&outcome)
+    );
+    println!("### CSV — label flips\n\n{}", render_flips_csv(&outcome));
+}

@@ -8,6 +8,7 @@
 //! | Binary | Paper artifact |
 //! |---|---|
 //! | `table1` | Table 1 (all models × RQ1/RQ2/RQ3 metrics) |
+//! | `suite` | Cross-hardware suite (per-spec Table 1 + label flips) |
 //! | `fig1` | Figure 1 roofline scatter (CSV + summary) |
 //! | `fig2` | Figure 2 token-count box plots |
 //! | `rq4_finetune` | §3.7 fine-tuning collapse |
@@ -15,9 +16,11 @@
 //! | `dataset_stats` | §2.1–2.2 dataset funnel |
 //!
 //! All binaries accept `--smoke` for a reduced-scale run (CI-friendly) and
-//! default to the paper-scale study otherwise.
+//! default to the paper-scale study otherwise; `suite` also accepts
+//! `--specs <name,name,...>` to pick the hardware matrix rows.
 
 use pce_core::study::Study;
+use pce_roofline::HardwareSpec;
 
 /// Parse the common CLI convention: `--smoke` selects the reduced study.
 pub fn study_from_args() -> Study {
@@ -33,4 +36,54 @@ pub fn study_from_args() -> Study {
 /// representative, small enough to iterate.
 pub fn bench_study() -> Study {
     Study::smoke()
+}
+
+/// Parse a comma-separated `--specs` list into hardware presets.
+///
+/// Names resolve case- and format-insensitively (`"a100"`, `"RTX 3080"`,
+/// `"rtx-4090"`); an unknown name produces an error message listing every
+/// known preset, so CLI users never have to guess.
+pub fn parse_specs(list: &str) -> Result<Vec<HardwareSpec>, String> {
+    list.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            HardwareSpec::preset_by_name(name).ok_or_else(|| {
+                format!(
+                    "unknown hardware spec '{name}'; known presets:\n  {}",
+                    HardwareSpec::preset_names().join("\n  ")
+                )
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_specs_resolves_mixed_formats() {
+        let specs = parse_specs("a100, RTX 3080,mi250x").unwrap();
+        let names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "NVIDIA A100-SXM4-40GB",
+                "NVIDIA GeForce RTX 3080",
+                "AMD Instinct MI250X"
+            ]
+        );
+        // Empty segments are skipped, an empty list parses to no specs.
+        assert!(parse_specs(" , ,").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_specs_error_lists_known_presets() {
+        let err = parse_specs("a100,notreal").unwrap_err();
+        assert!(err.contains("unknown hardware spec 'notreal'"), "{err}");
+        for name in HardwareSpec::preset_names() {
+            assert!(err.contains(&name), "error must list {name}");
+        }
+    }
 }

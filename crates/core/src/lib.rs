@@ -9,7 +9,11 @@
 //!   RQ1 baseline roofline calculations, RQ2 zero-shot, RQ3 few-shot,
 //!   RQ4 fine-tuning, plus the §3.2 sampling-hyperparameter chi-squared
 //!   check,
-//! * [`table1`] — assembles the paper's Table 1 across all nine models,
+//! * [`table1`] — assembles the paper's Table 1 across all nine models
+//!   (rayon-parallel over the zoo),
+//! * [`suite`] — the cross-hardware study matrix: every (hardware spec ×
+//!   model × RQ) cell from one shared corpus/tokenizer/RQ1 build, plus
+//!   the label-flip analysis,
 //! * [`figures`] — the Figure 1 roofline scatter and Figure 2 token
 //!   distributions,
 //! * [`report`] — markdown/CSV rendering of all of the above.
@@ -31,6 +35,8 @@ pub mod experiments;
 pub mod figures;
 pub mod report;
 pub mod study;
+pub mod suite;
 pub mod table1;
 
 pub use study::{Study, StudyData};
+pub use suite::{run_suite, Suite, SuiteOutcome};

@@ -4,9 +4,11 @@
 use std::fmt::Write as _;
 
 use pce_dataset::PipelineReport;
+use pce_roofline::OpClass;
 
 use crate::experiments::{HyperparamCheck, Rq4Outcome};
 use crate::figures::{Fig1, Fig2};
+use crate::suite::SuiteOutcome;
 use crate::table1::Table1;
 
 fn fmt_opt(v: Option<f64>) -> String {
@@ -41,6 +43,132 @@ pub fn render_table1(table: &Table1) -> String {
         );
     }
     let _ = writeln!(out, "\nTotal simulated API spend: ${:.2}", table.total_cost);
+    out
+}
+
+/// Render the cross-hardware suite as markdown: a hardware summary, the
+/// label-flip analysis, and one Table-1 section per spec.
+pub fn render_suite(outcome: &SuiteOutcome) -> String {
+    let mut out = String::with_capacity(8192);
+    let _ = writeln!(
+        out,
+        "# Cross-hardware suite — {} specs × {} models\n",
+        outcome.specs.len(),
+        outcome.specs.first().map_or(0, |s| s.table.rows.len()),
+    );
+
+    out.push_str(
+        "| Hardware | SP ridge | DP ridge | INT ridge | Dataset | Best RQ2 model | Best RQ2 acc. | Spend |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|\n");
+    for s in &outcome.specs {
+        // Deterministic argmax: strictly-greater keeps the first (highest
+        // RQ1-sorted) row on ties.
+        let best = s
+            .table
+            .rows
+            .iter()
+            .fold(None::<&crate::table1::Table1Row>, |acc, r| match acc {
+                Some(b) if b.rq2.accuracy >= r.rq2.accuracy => Some(b),
+                _ => Some(r),
+            })
+            .expect("table has rows");
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2} | {:.2} | {} | {} | {:.2} | ${:.2} |",
+            s.spec.name,
+            s.spec.ridge_point(OpClass::Sp),
+            s.spec.ridge_point(OpClass::Dp),
+            s.spec.ridge_point(OpClass::Int),
+            s.funnel.final_size,
+            best.model,
+            best.rq2.accuracy,
+            s.table.total_cost,
+        );
+    }
+
+    let flips = &outcome.flips;
+    out.push_str("\n## Label-flip analysis\n\n");
+    let total = flips.kernels.len();
+    let _ = writeln!(
+        out,
+        "{} of {} corpus kernels ({:.1}%) change ground-truth boundedness \
+         somewhere in the matrix.\n",
+        flips.flipping,
+        total,
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * flips.flipping as f64 / total as f64
+        },
+    );
+    if let Some(reference) = flips.spec_names.first() {
+        let _ = writeln!(out, "Labels flipped vs the reference ({reference}):\n");
+        for (name, n) in flips.spec_names.iter().zip(&flips.flips_vs_reference) {
+            let _ = writeln!(out, "- {name}: {n}");
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "Pooled zero-shot accuracy — flipping kernels: {}, stable kernels: {}.",
+        fmt_opt(flips.accuracy_on_flipping),
+        fmt_opt(flips.accuracy_on_stable),
+    );
+
+    for s in &outcome.specs {
+        let _ = writeln!(out, "\n## Table 1 — {}\n", s.spec.name);
+        out.push_str(&render_table1(&s.table));
+    }
+    out
+}
+
+/// Render the suite's (hardware × model) metric cells as CSV.
+pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(
+        "hardware,model,reasoning,rq1_acc,rq1_cot_acc,rq2_acc,rq2_f1,rq2_mcc,rq3_acc,rq3_f1,rq3_mcc\n",
+    );
+    let csv_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.2}"));
+    for s in &outcome.specs {
+        for r in &s.table.rows {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                s.spec.name,
+                r.model,
+                r.reasoning,
+                csv_opt(r.rq1_acc),
+                csv_opt(r.rq1_cot_acc),
+                r.rq2.accuracy,
+                r.rq2.macro_f1,
+                r.rq2.mcc,
+                r.rq3.accuracy,
+                r.rq3.macro_f1,
+                r.rq3.mcc,
+            );
+        }
+    }
+    out
+}
+
+/// Render the per-kernel label matrix as CSV: one column per spec plus a
+/// `flips` marker.
+pub fn render_flips_csv(outcome: &SuiteOutcome) -> String {
+    let flips = &outcome.flips;
+    let mut out = String::with_capacity(64 * (flips.kernels.len() + 1));
+    out.push_str("kernel,family");
+    for name in &flips.spec_names {
+        let _ = write!(out, ",{name}");
+    }
+    out.push_str(",flips\n");
+    for k in &flips.kernels {
+        let _ = write!(out, "{},{}", k.id, k.family);
+        for label in &k.labels {
+            let _ = write!(out, ",{}", label.short());
+        }
+        let _ = writeln!(out, ",{}", k.flips());
+    }
     out
 }
 
@@ -157,6 +285,40 @@ mod tests {
         let text = render_funnel(&data.report);
         for needle in ["built", "pruning", "balanced per-cell", "train/validation"] {
             assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn suite_renderers_cover_every_spec_and_kernel() {
+        let suite = crate::suite::Suite::smoke_with_specs(vec![
+            pce_roofline::HardwareSpec::rtx_3080(),
+            pce_roofline::HardwareSpec::a100(),
+        ]);
+        let outcome = crate::suite::run_suite(&suite);
+
+        let md = render_suite(&outcome);
+        for s in &outcome.specs {
+            assert!(
+                md.contains(&format!("## Table 1 — {}", s.spec.name)),
+                "missing per-spec table for {}",
+                s.spec.name
+            );
+        }
+        assert!(md.contains("## Label-flip analysis"));
+        assert!(md.contains("Pooled zero-shot accuracy"));
+
+        let csv = render_suite_csv(&outcome);
+        assert!(csv.starts_with("hardware,model,reasoning"));
+        // Header + (specs × 9 models) rows.
+        assert_eq!(csv.lines().count(), 1 + outcome.specs.len() * 9);
+
+        let flips = render_flips_csv(&outcome);
+        assert!(flips.starts_with("kernel,family"));
+        assert_eq!(flips.lines().count(), 1 + outcome.flips.kernels.len());
+        // Every data row carries one label column per spec.
+        let cols = 3 + outcome.specs.len();
+        for line in flips.lines().skip(1).take(5) {
+            assert_eq!(line.split(',').count(), cols, "{line}");
         }
     }
 

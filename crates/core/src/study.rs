@@ -58,6 +58,17 @@ impl Study {
         study.pipeline.tokenizer_stride = 13;
         study
     }
+
+    /// The same study re-targeted at different hardware: both the
+    /// profiling/labeling hardware and the prompt hardware move together,
+    /// everything else (corpus, tokenizer, seeds) stays fixed. This is the
+    /// per-spec derivation the cross-hardware suite uses.
+    pub fn with_hardware(&self, hardware: HardwareSpec) -> Study {
+        let mut study = self.clone();
+        study.pipeline.hardware = hardware.clone();
+        study.hardware = hardware;
+        study
+    }
 }
 
 /// The shared data build: corpus, profiles, balanced dataset, split.

@@ -1,0 +1,326 @@
+//! The cross-hardware study suite: one shared data build, per-spec
+//! Table-1 evaluations, and the label-flip analysis.
+//!
+//! The paper evaluates everything on a single RTX 3080, but its roofline
+//! framing is hardware-parametric: the same kernel flips between compute-
+//! and bandwidth-bound as the peak-FLOPs/bandwidth ratio changes. This
+//! module runs the full experiment matrix — hardware spec × model zoo ×
+//! RQ1/RQ2/RQ3 — across an arbitrary list of [`HardwareSpec`]s:
+//!
+//! * the hardware-*independent* work (corpus generation, tokenizer
+//!   training, per-program token counts, the RQ1 random-roofline runs) is
+//!   done **once** in a [`SharedBuild`] and reused by every spec,
+//! * the hardware-*dependent* work (profiling, labeling, balancing,
+//!   RQ2/RQ3 classification) runs per spec, with rayon fanning out over
+//!   both the spec list and the model zoo,
+//! * a [`FlipAnalysis`] reports which kernels change ground-truth
+//!   boundedness across specs and how zero-shot model accuracy tracks
+//!   those flips.
+//!
+//! Everything is deterministic: results are collected in input order and
+//! costs derive from integer token totals, so the suite renders
+//! byte-identically under any `RAYON_NUM_THREADS`.
+
+use std::collections::BTreeSet;
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use pce_dataset::{run_pipeline_with, tokenize_corpus, PipelineReport, TokenizedCorpus};
+use pce_kernels::{build_corpus, Program};
+use pce_roofline::{Boundedness, HardwareSpec};
+
+use crate::study::Study;
+use crate::table1::{build_table1_from_bank, Rq1Bank, Table1};
+
+/// Cross-hardware suite configuration: one base study re-targeted at a
+/// list of hardware specs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Suite {
+    /// The base study (corpus, pipeline, RQ1 scale, seeds). Its hardware
+    /// is replaced per spec via [`Study::with_hardware`].
+    pub base: Study,
+    /// The hardware matrix rows. The first spec is the flip-analysis
+    /// reference.
+    pub specs: Vec<HardwareSpec>,
+}
+
+impl Default for Suite {
+    /// Paper-scale base study across the full preset catalog.
+    fn default() -> Self {
+        Suite {
+            base: Study::default(),
+            specs: HardwareSpec::presets(),
+        }
+    }
+}
+
+impl Suite {
+    /// Reduced-scale suite across the full preset catalog (CI-friendly).
+    pub fn smoke() -> Self {
+        Suite {
+            base: Study::smoke(),
+            specs: HardwareSpec::presets(),
+        }
+    }
+
+    /// Reduced-scale suite over an explicit spec list (cheap tests).
+    pub fn smoke_with_specs(specs: Vec<HardwareSpec>) -> Self {
+        Suite {
+            base: Study::smoke(),
+            specs,
+        }
+    }
+}
+
+/// The hardware-independent half of the suite build, done once and shared
+/// by every spec: the corpus, its tokenization, and the RQ1 bank.
+#[derive(Debug, Clone)]
+pub struct SharedBuild {
+    /// The generated corpus (shared verbatim by every spec).
+    pub corpus: Vec<Program>,
+    /// One tokenizer training + token count pass over the corpus.
+    pub tokenized: TokenizedCorpus,
+    /// RQ1 outcomes per model (RQ1 prompts embed their own rooflines, so
+    /// they are hardware-independent too).
+    pub rq1: Rq1Bank,
+}
+
+impl SharedBuild {
+    /// Build the shared half from the suite's base study.
+    pub fn build(suite: &Suite) -> SharedBuild {
+        let corpus = build_corpus(&suite.base.corpus);
+        let tokenized = tokenize_corpus(&corpus, &suite.base.pipeline);
+        let rq1 = Rq1Bank::build(&suite.base);
+        SharedBuild {
+            corpus,
+            tokenized,
+            rq1,
+        }
+    }
+}
+
+/// Everything the suite produces for one hardware spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecOutcome {
+    /// The hardware this cell ran on.
+    pub spec: HardwareSpec,
+    /// The spec's Table 1 (all models × RQ1/RQ2/RQ3).
+    pub table: Table1,
+    /// The spec's dataset funnel (labels, pruning, balancing).
+    pub funnel: PipelineReport,
+    /// Sample ids of the spec's balanced dataset, in dataset order.
+    pub dataset_ids: Vec<String>,
+    /// Zero-shot per-sample correctness per model (zoo order), aligned
+    /// with `dataset_ids`.
+    pub zero_shot_correct: Vec<(String, Vec<bool>)>,
+}
+
+/// Ground-truth labels for one corpus kernel across every spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLabels {
+    /// Corpus program id.
+    pub id: String,
+    /// Kernel family.
+    pub family: String,
+    /// The kernel's label under each spec, in suite spec order.
+    pub labels: Vec<Boundedness>,
+}
+
+impl KernelLabels {
+    /// Does the ground truth differ between any two specs?
+    pub fn flips(&self) -> bool {
+        self.labels.windows(2).any(|w| w[0] != w[1])
+    }
+}
+
+/// Which kernels change ground-truth boundedness across the hardware
+/// matrix, and how model accuracy tracks those flips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipAnalysis {
+    /// Spec names, in suite order (index 0 is the reference).
+    pub spec_names: Vec<String>,
+    /// Per-kernel label vectors, in corpus order.
+    pub kernels: Vec<KernelLabels>,
+    /// Number of kernels whose label differs between at least two specs.
+    pub flipping: usize,
+    /// Per spec: kernels labeled differently than under the reference
+    /// (first) spec. Entry 0 is always zero.
+    pub flips_vs_reference: Vec<usize>,
+    /// Mean zero-shot accuracy (×100, pooled over all models × specs) on
+    /// dataset samples whose kernel flips across specs. `None` when no
+    /// evaluated sample flips.
+    pub accuracy_on_flipping: Option<f64>,
+    /// Same, on samples whose kernel keeps one label everywhere.
+    pub accuracy_on_stable: Option<f64>,
+}
+
+/// The full suite result: per-spec outcomes plus the flip analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteOutcome {
+    /// One outcome per hardware spec, in suite order.
+    pub specs: Vec<SpecOutcome>,
+    /// The cross-spec label-flip analysis.
+    pub flips: FlipAnalysis,
+}
+
+/// Run the whole suite: shared build, then every (hardware, model) cell.
+pub fn run_suite(suite: &Suite) -> SuiteOutcome {
+    let shared = SharedBuild::build(suite);
+    run_suite_shared(suite, &shared)
+}
+
+/// Run the suite against an existing [`SharedBuild`] (exposed so tests
+/// can assert exactly what is shared).
+///
+/// # Panics
+/// Panics when `suite.specs` is empty.
+pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
+    assert!(!suite.specs.is_empty(), "suite needs at least one spec");
+    let specs: Vec<SpecOutcome> = suite
+        .specs
+        .par_iter()
+        .map(|hw| {
+            let study = suite.base.with_hardware(hw.clone());
+            // Re-profile and relabel the shared corpus under this spec;
+            // no per-spec corpus clone or tokenizer retrain.
+            let (dataset, _split, funnel) =
+                run_pipeline_with(&shared.corpus, &shared.tokenized, &study.pipeline);
+            let detail = build_table1_from_bank(&study, &dataset.samples, &shared.rq1);
+            SpecOutcome {
+                spec: hw.clone(),
+                dataset_ids: dataset.samples.iter().map(|s| s.id.clone()).collect(),
+                zero_shot_correct: detail.zero_shot_correct,
+                table: detail.table,
+                funnel,
+            }
+        })
+        .collect();
+    let flips = analyze_flips(&shared.corpus, &specs);
+    SuiteOutcome { specs, flips }
+}
+
+/// Cross-spec label comparison plus flip-tracking accuracy.
+fn analyze_flips(corpus: &[Program], specs: &[SpecOutcome]) -> FlipAnalysis {
+    let kernels: Vec<KernelLabels> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, p)| KernelLabels {
+            id: p.id.clone(),
+            family: p.family.clone(),
+            labels: specs.iter().map(|s| s.funnel.corpus_labels[i]).collect(),
+        })
+        .collect();
+    let flipping = kernels.iter().filter(|k| k.flips()).count();
+    let flips_vs_reference = (0..specs.len())
+        .map(|j| {
+            kernels
+                .iter()
+                .filter(|k| k.labels[j] != k.labels[0])
+                .count()
+        })
+        .collect();
+
+    // Pool zero-shot correctness over every (model, spec, sample) cell,
+    // split by whether the sample's kernel flips anywhere in the matrix.
+    let flippy: BTreeSet<&str> = kernels
+        .iter()
+        .filter(|k| k.flips())
+        .map(|k| k.id.as_str())
+        .collect();
+    let (mut flip_hits, mut flip_n, mut stable_hits, mut stable_n) = (0u64, 0u64, 0u64, 0u64);
+    for spec in specs {
+        for (_, correct) in &spec.zero_shot_correct {
+            for (id, &ok) in spec.dataset_ids.iter().zip(correct) {
+                if flippy.contains(id.as_str()) {
+                    flip_n += 1;
+                    flip_hits += ok as u64;
+                } else {
+                    stable_n += 1;
+                    stable_hits += ok as u64;
+                }
+            }
+        }
+    }
+    let pct = |hits: u64, n: u64| (n > 0).then(|| 100.0 * hits as f64 / n as f64);
+    FlipAnalysis {
+        spec_names: specs.iter().map(|s| s.spec.name.clone()).collect(),
+        kernels,
+        flipping,
+        flips_vs_reference,
+        accuracy_on_flipping: pct(flip_hits, flip_n),
+        accuracy_on_stable: pct(stable_hits, stable_n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_suite() -> Suite {
+        let mut suite =
+            Suite::smoke_with_specs(vec![HardwareSpec::rtx_3080(), HardwareSpec::mi250x()]);
+        // Shrink further: the structure, not the scale, is under test.
+        suite.base.corpus.cuda_programs = 90;
+        suite.base.corpus.omp_programs = 72;
+        suite.base.rq1_rooflines = 16;
+        suite.base.pipeline.per_combo_cap = 10;
+        suite
+    }
+
+    #[test]
+    fn suite_produces_one_outcome_per_spec_in_order() {
+        let suite = tiny_suite();
+        let outcome = run_suite(&suite);
+        assert_eq!(outcome.specs.len(), suite.specs.len());
+        for (hw, out) in suite.specs.iter().zip(&outcome.specs) {
+            assert_eq!(out.spec.name, hw.name);
+            assert_eq!(out.table.rows.len(), 9);
+            assert!(out.table.total_cost > 0.0);
+            assert_eq!(out.dataset_ids.len(), out.funnel.final_size);
+        }
+        assert_eq!(outcome.flips.spec_names.len(), suite.specs.len());
+        assert_eq!(outcome.flips.flips_vs_reference[0], 0);
+    }
+
+    #[test]
+    fn consumer_vs_hpc_silicon_flips_dp_kernels() {
+        // The 3080's 1/64-rate DP pipes put its DP ridge at ~0.6 flop/B;
+        // the MI250X's full-rate DP over 3.2 TB/s sits at ~14.6. Any
+        // DP-heavy kernel in between must flip.
+        let outcome = run_suite(&tiny_suite());
+        assert!(
+            outcome.flips.flipping > 0,
+            "no kernel flipped between RTX 3080 and MI250X"
+        );
+        let n = outcome.flips.kernels.len();
+        assert!(outcome.flips.flipping < n, "every kernel flipped");
+    }
+
+    #[test]
+    fn flip_analysis_counts_are_consistent() {
+        let outcome = run_suite(&tiny_suite());
+        let recount = outcome.flips.kernels.iter().filter(|k| k.flips()).count();
+        assert_eq!(outcome.flips.flipping, recount);
+        for k in &outcome.flips.kernels {
+            assert_eq!(k.labels.len(), outcome.flips.spec_names.len());
+        }
+        // Pooled accuracies are percentages when present.
+        for acc in [
+            outcome.flips.accuracy_on_flipping,
+            outcome.flips.accuracy_on_stable,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            assert!((0.0..=100.0).contains(&acc), "{acc}");
+        }
+    }
+
+    #[test]
+    fn default_suite_spans_the_full_catalog() {
+        let suite = Suite::default();
+        assert!(suite.specs.len() >= 6, "suite must span ≥ 6 presets");
+        assert_eq!(Suite::smoke().specs.len(), suite.specs.len());
+    }
+}

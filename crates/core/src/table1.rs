@@ -1,12 +1,19 @@
 //! Assembly of the paper's Table 1: nine models × (cost, RQ1, RQ2, RQ3).
+//!
+//! The model zoo is evaluated in parallel (rayon); results are collected
+//! in zoo order and costs are derived from integer token totals, so the
+//! assembled table is bit-identical regardless of thread count.
 
+use std::collections::BTreeMap;
+
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use pce_llm::{model_zoo, SurrogateEngine};
+use pce_llm::{model_zoo, SurrogateEngine, UsageMeter};
 use pce_metrics::MetricBundle;
 use pce_prompt::ShotStyle;
 
-use crate::experiments::{run_classification, run_rq1};
+use crate::experiments::{run_classification, run_rq1, Rq1Outcome};
 use crate::study::{Study, StudyData};
 
 /// One Table-1 row.
@@ -43,50 +50,117 @@ pub struct Table1 {
 /// smaller counterparts already perform so well").
 const RQ1_SKIP: [&str; 2] = ["o1", "gpt-4.5-preview"];
 
+/// Hardware-independent RQ1 results for the whole zoo, plus the usage
+/// they billed.
+///
+/// RQ1 prompts embed their own randomly drawn rooflines, so the outcomes
+/// depend only on `study.rq1_rooflines` and `study.seed` — never on
+/// `study.hardware`. The cross-hardware suite therefore computes the bank
+/// once and reuses it for every spec; [`build_table1_from_bank`] absorbs
+/// the bank's billed usage so per-spec costs match an inline run exactly.
+#[derive(Debug, Clone)]
+pub struct Rq1Bank {
+    outcomes: BTreeMap<String, Rq1Outcome>,
+    meter: UsageMeter,
+}
+
+impl Rq1Bank {
+    /// Run RQ1 for every zoo model the paper evaluates (parallel over
+    /// models).
+    pub fn build(study: &Study) -> Rq1Bank {
+        let engine = SurrogateEngine::new();
+        let names: Vec<String> = model_zoo()
+            .iter()
+            .filter(|m| !RQ1_SKIP.contains(&m.name.as_str()))
+            .map(|m| m.name.clone())
+            .collect();
+        let outcomes: Vec<(String, Rq1Outcome)> = names
+            .par_iter()
+            .map(|name| (name.clone(), run_rq1(study, &engine, name)))
+            .collect();
+        Rq1Bank {
+            outcomes: outcomes.into_iter().collect(),
+            meter: engine.meter().clone(),
+        }
+    }
+
+    /// The RQ1 outcome for one model (`None` for the paper-skipped pair).
+    pub fn outcome(&self, model: &str) -> Option<&Rq1Outcome> {
+        self.outcomes.get(model)
+    }
+}
+
+/// The assembled table plus the per-model per-sample detail the
+/// cross-hardware suite's flip-tracking accuracy consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Detail {
+    /// The table as published.
+    pub table: Table1,
+    /// Zero-shot (RQ2) per-sample correctness per model, in zoo order,
+    /// each vector aligned with the dataset order.
+    pub zero_shot_correct: Vec<(String, Vec<bool>)>,
+}
+
 /// Run the full Table-1 evaluation.
 pub fn build_table1(study: &Study, data: &StudyData) -> Table1 {
+    build_table1_from_bank(study, &data.dataset.samples, &Rq1Bank::build(study)).table
+}
+
+/// Run the Table-1 evaluation over a balanced sample set against
+/// precomputed RQ1 results.
+///
+/// The (hardware, model) cells run in parallel over the zoo; the bank's
+/// billed usage is folded into the table's total spend, so the result is
+/// bit-identical to an inline [`build_table1`] run.
+pub fn build_table1_from_bank(
+    study: &Study,
+    samples: &[pce_dataset::Sample],
+    bank: &Rq1Bank,
+) -> Table1Detail {
     let engine = SurrogateEngine::new();
-    let mut rows = Vec::new();
-    for spec in model_zoo() {
-        let (rq1_acc, rq1_cot_acc) = if RQ1_SKIP.contains(&spec.name.as_str()) {
-            (None, None)
-        } else {
-            let out = run_rq1(study, &engine, &spec.name);
-            (Some(out.best_acc), Some(out.best_acc_cot))
-        };
-        let rq2 = run_classification(
-            study,
-            &engine,
-            &spec.name,
-            &data.dataset.samples,
-            ShotStyle::ZeroShot,
-        );
-        let rq3 = run_classification(
-            study,
-            &engine,
-            &spec.name,
-            &data.dataset.samples,
-            ShotStyle::FewShot,
-        );
-        rows.push(Table1Row {
-            model: spec.name.clone(),
-            reasoning: spec.reasoning,
-            cost: format!("${} / ${}", spec.input_cost, spec.output_cost),
-            rq1_acc,
-            rq1_cot_acc,
-            rq2: rq2.metrics,
-            rq3: rq3.metrics,
-        });
+    let zoo = model_zoo();
+    let cells: Vec<(Table1Row, Vec<bool>)> = zoo
+        .par_iter()
+        .map(|spec| {
+            let (rq1_acc, rq1_cot_acc) = match bank.outcome(&spec.name) {
+                Some(out) => (Some(out.best_acc), Some(out.best_acc_cot)),
+                None => (None, None),
+            };
+            let rq2 = run_classification(study, &engine, &spec.name, samples, ShotStyle::ZeroShot);
+            let rq3 = run_classification(study, &engine, &spec.name, samples, ShotStyle::FewShot);
+            let row = Table1Row {
+                model: spec.name.clone(),
+                reasoning: spec.reasoning,
+                cost: format!("${} / ${}", spec.input_cost, spec.output_cost),
+                rq1_acc,
+                rq1_cot_acc,
+                rq2: rq2.metrics,
+                rq3: rq3.metrics,
+            };
+            (row, rq2.correct)
+        })
+        .collect();
+    engine.meter().absorb(&bank.meter);
+
+    let mut rows = Vec::with_capacity(cells.len());
+    let mut zero_shot_correct = Vec::with_capacity(cells.len());
+    for (row, correct) in cells {
+        zero_shot_correct.push((row.model.clone(), correct));
+        rows.push(row);
     }
     // Sort like the paper: by RQ1 accuracy (missing entries ride on their
-    // RQ2 accuracy), descending.
+    // RQ2 accuracy), descending. The sort is stable over zoo order, so
+    // ties break deterministically.
     rows.sort_by(|a, b| {
         let key = |r: &Table1Row| (r.rq1_acc.unwrap_or(0.0), r.rq2.accuracy);
         key(b).partial_cmp(&key(a)).unwrap()
     });
-    Table1 {
-        rows,
-        total_cost: engine.meter().total_cost(),
+    Table1Detail {
+        table: Table1 {
+            rows,
+            total_cost: engine.meter().total_cost(),
+        },
+        zero_shot_correct,
     }
 }
 
@@ -141,5 +215,40 @@ mod tests {
             mean(true),
             mean(false)
         );
+    }
+
+    #[test]
+    fn bank_reuse_matches_inline_build_including_cost() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let inline = build_table1(&study, &data);
+        let bank = Rq1Bank::build(&study);
+        let detail_a = build_table1_from_bank(&study, &data.dataset.samples, &bank);
+        let detail_b = build_table1_from_bank(&study, &data.dataset.samples, &bank);
+        // Exact equality, total_cost included: integer token accounting
+        // makes the spend independent of evaluation order.
+        assert_eq!(detail_a.table, inline);
+        assert_eq!(detail_a, detail_b);
+        // Detail covers the whole zoo in zoo order, aligned with the
+        // dataset.
+        let zoo_names: Vec<String> = model_zoo().iter().map(|m| m.name.clone()).collect();
+        let detail_names: Vec<String> = detail_a
+            .zero_shot_correct
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect();
+        assert_eq!(detail_names, zoo_names);
+        for (model, correct) in &detail_a.zero_shot_correct {
+            assert_eq!(correct.len(), data.dataset.len(), "{model}");
+        }
+    }
+
+    #[test]
+    fn rq1_bank_covers_exactly_the_evaluated_models() {
+        let bank = Rq1Bank::build(&Study::smoke());
+        for m in model_zoo() {
+            let skipped = RQ1_SKIP.contains(&m.name.as_str());
+            assert_eq!(bank.outcome(&m.name).is_none(), skipped, "{}", m.name);
+        }
     }
 }

@@ -85,6 +85,46 @@ pub struct Split {
     pub validation: Dataset,
 }
 
+/// The hardware-independent half of the pipeline: a trained tokenizer and
+/// per-program token counts for one corpus.
+///
+/// Build it once with [`tokenize_corpus`] and feed it to
+/// [`run_pipeline_with`] for every hardware spec — only profiling and
+/// labeling depend on the hardware, so a cross-hardware sweep never
+/// retrains the tokenizer or recounts tokens.
+#[derive(Debug, Clone)]
+pub struct TokenizedCorpus {
+    /// The trained tokenizer (for downstream consumers such as prompts).
+    pub tokenizer: Tokenizer,
+    /// BPE token count per corpus program, in corpus order.
+    pub token_counts: Vec<usize>,
+    /// Token-count distribution over the raw corpus (`None` only for an
+    /// empty corpus).
+    pub raw_token_stats: Option<TokenStats>,
+}
+
+/// Train the tokenizer on the configured corpus subsample and token-count
+/// every source. Depends only on `cfg.tokenizer_vocab` and
+/// `cfg.tokenizer_stride`, never on the hardware.
+pub fn tokenize_corpus(corpus: &[Program], cfg: &PipelineConfig) -> TokenizedCorpus {
+    let training_docs: Vec<&str> = corpus
+        .iter()
+        .step_by(cfg.tokenizer_stride.max(1))
+        .map(|p| p.source.as_str())
+        .collect();
+    let vocab = BpeTrainer::new(cfg.tokenizer_vocab).train(training_docs);
+    let tokenizer = Tokenizer::new(vocab);
+
+    let sources: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
+    let token_counts = tokenizer.count_batch(&sources);
+    let raw_token_stats = (!token_counts.is_empty()).then(|| token_quartiles(&token_counts));
+    TokenizedCorpus {
+        tokenizer,
+        token_counts,
+        raw_token_stats,
+    }
+}
+
 /// Stage-by-stage counts, mirroring the paper's §2.2 funnel numbers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PipelineReport {
@@ -97,6 +137,10 @@ pub struct PipelineReport {
     pub raw_token_stats: Option<TokenStats>,
     /// Programs surviving the token cutoff, per language.
     pub after_prune: BTreeMap<String, usize>,
+    /// Ground-truth label per input corpus program (corpus order), taken
+    /// *before* pruning and balancing — the cross-hardware suite's
+    /// label-flip analysis compares these vectors across specs.
+    pub corpus_labels: Vec<Boundedness>,
     /// Counts per (language, class) cell before balancing.
     pub combo_before_balance: BTreeMap<String, usize>,
     /// The balanced per-cell size.
@@ -112,21 +156,34 @@ pub struct PipelineReport {
 /// Run the full pipeline over a corpus.
 ///
 /// Returns the balanced dataset, its train/validation split, and the
-/// funnel report.
+/// funnel report. Tokenizes internally; cross-hardware callers should
+/// [`tokenize_corpus`] once and call [`run_pipeline_with`] per spec.
 pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split, PipelineReport) {
-    // --- Tokenizer training on a corpus subsample -----------------------
-    let training_docs: Vec<&str> = corpus
-        .iter()
-        .step_by(cfg.tokenizer_stride.max(1))
-        .map(|p| p.source.as_str())
-        .collect();
-    let vocab = BpeTrainer::new(cfg.tokenizer_vocab).train(training_docs);
-    let tokenizer = Tokenizer::new(vocab);
+    let tokenized = tokenize_corpus(corpus, cfg);
+    run_pipeline_with(corpus, &tokenized, cfg)
+}
 
-    // --- Token-count every source (batch, shared chunk cache) -----------
-    let sources: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
-    let token_counts = tokenizer.count_batch(&sources);
-    let raw_token_stats = (!token_counts.is_empty()).then(|| token_quartiles(&token_counts));
+/// Run the hardware-dependent half of the pipeline — profile, label,
+/// prune, balance, split — against a pre-tokenized corpus.
+///
+/// Produces bit-identical output to [`run_pipeline`] with the same
+/// `corpus` and `cfg`.
+///
+/// # Panics
+/// Panics when `tokenized` was built from a different corpus (length
+/// mismatch).
+pub fn run_pipeline_with(
+    corpus: &[Program],
+    tokenized: &TokenizedCorpus,
+    cfg: &PipelineConfig,
+) -> (Dataset, Split, PipelineReport) {
+    assert_eq!(
+        tokenized.token_counts.len(),
+        corpus.len(),
+        "tokenized corpus does not match the program corpus"
+    );
+    let token_counts = &tokenized.token_counts;
+    let raw_token_stats = tokenized.raw_token_stats;
 
     // --- Profile + label (parallel) --------------------------------------
     let profiler = Profiler::new(cfg.hardware.clone());
@@ -151,6 +208,7 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
             }
         })
         .collect();
+    let corpus_labels: Vec<Boundedness> = samples.iter().map(|s| s.label).collect();
 
     let count_lang = |samples: &[Sample]| {
         let mut m = BTreeMap::new();
@@ -231,6 +289,7 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
         built,
         raw_token_stats,
         after_prune,
+        corpus_labels,
         combo_before_balance,
         per_combo,
         final_size: balanced.len(),
@@ -319,6 +378,48 @@ mod tests {
         let built: usize = report.built.values().sum();
         let kept: usize = report.after_prune.values().sum();
         assert!(kept < built, "a 2k cutoff must drop some programs");
+    }
+
+    #[test]
+    fn shared_tokenization_is_bit_identical_to_inline() {
+        let corpus = small_corpus();
+        let c = cfg();
+        let tokenized = tokenize_corpus(&corpus, &c);
+        let (a, sa, ra) = run_pipeline(&corpus, &c);
+        let (b, sb, rb) = run_pipeline_with(&corpus, &tokenized, &c);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn report_labels_cover_the_whole_corpus_in_order() {
+        let corpus = small_corpus();
+        let c = cfg();
+        let (_, _, report) = run_pipeline(&corpus, &c);
+        assert_eq!(report.corpus_labels.len(), corpus.len());
+        // Spot-check alignment: relabeling program i reproduces entry i.
+        let hw = &c.hardware;
+        let profiler = Profiler::new(hw.clone());
+        for (i, p) in corpus.iter().enumerate().step_by(17) {
+            let profile = profiler.profile(&p.ir, &p.launch);
+            assert_eq!(
+                classify_joint(hw, &profile.counts).label,
+                report.corpus_labels[i],
+                "{}",
+                p.id
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_tokenized_corpus_is_rejected() {
+        let corpus = small_corpus();
+        let c = cfg();
+        let mut tokenized = tokenize_corpus(&corpus, &c);
+        tokenized.token_counts.pop();
+        run_pipeline_with(&corpus, &tokenized, &c);
     }
 
     #[test]

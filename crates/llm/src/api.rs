@@ -95,10 +95,30 @@ pub struct ChatResponse {
     pub usage: Usage,
 }
 
+/// Per-model running token totals plus the prices they are billed at.
+#[derive(Debug, Clone, Copy, Default)]
+struct Tally {
+    usage: Usage,
+    input_cost: f64,
+    output_cost: f64,
+}
+
+impl Tally {
+    fn cost(&self) -> f64 {
+        self.usage.prompt_tokens as f64 / 1e6 * self.input_cost
+            + self.usage.completion_tokens as f64 / 1e6 * self.output_cost
+    }
+}
+
 /// Thread-safe accumulator of usage and dollar cost across a run.
+///
+/// Only integer token totals are accumulated; dollar costs are derived
+/// from the totals at read time. Integer addition is associative, so the
+/// reported cost is independent of recording order — parallel runs bill
+/// byte-identically to serial ones.
 #[derive(Debug, Clone, Default)]
 pub struct UsageMeter {
-    inner: Arc<Mutex<BTreeMap<String, (Usage, f64)>>>,
+    inner: Arc<Mutex<BTreeMap<String, Tally>>>,
 }
 
 impl UsageMeter {
@@ -108,23 +128,61 @@ impl UsageMeter {
     }
 
     /// Record one response against a model's `$ / 1M token` prices.
+    ///
+    /// Prices must be constant per model across a meter's lifetime (they
+    /// are zoo constants): cost is derived from the accumulated token
+    /// totals at read time, so a price change mid-run would retroactively
+    /// reprice earlier traffic. Debug builds assert this.
     pub fn record(&self, resp: &ChatResponse, input_cost: f64, output_cost: f64) {
         let mut map = self.inner.lock();
         let entry = map.entry(resp.model.clone()).or_default();
-        entry.0.prompt_tokens += resp.usage.prompt_tokens;
-        entry.0.completion_tokens += resp.usage.completion_tokens;
-        entry.1 += resp.usage.prompt_tokens as f64 / 1e6 * input_cost
-            + resp.usage.completion_tokens as f64 / 1e6 * output_cost;
+        debug_assert!(
+            entry.usage.total() == 0
+                || (entry.input_cost == input_cost && entry.output_cost == output_cost),
+            "model '{}' re-billed at different prices",
+            resp.model
+        );
+        entry.usage.prompt_tokens += resp.usage.prompt_tokens;
+        entry.usage.completion_tokens += resp.usage.completion_tokens;
+        entry.input_cost = input_cost;
+        entry.output_cost = output_cost;
+    }
+
+    /// Fold another meter's accumulated usage into this one, as if every
+    /// request billed there had been billed here. No-op when `other` is
+    /// this meter (or a clone sharing its storage).
+    pub fn absorb(&self, other: &UsageMeter) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let theirs = other.inner.lock().clone();
+        let mut map = self.inner.lock();
+        for (model, t) in theirs {
+            let entry = map.entry(model).or_default();
+            debug_assert!(
+                entry.usage.total() == 0
+                    || (entry.input_cost == t.input_cost && entry.output_cost == t.output_cost),
+                "a model was absorbed at different prices"
+            );
+            entry.usage.prompt_tokens += t.usage.prompt_tokens;
+            entry.usage.completion_tokens += t.usage.completion_tokens;
+            entry.input_cost = t.input_cost;
+            entry.output_cost = t.output_cost;
+        }
     }
 
     /// Accumulated (usage, cost) per model.
     pub fn snapshot(&self) -> BTreeMap<String, (Usage, f64)> {
-        self.inner.lock().clone()
+        self.inner
+            .lock()
+            .iter()
+            .map(|(model, t)| (model.clone(), (t.usage, t.cost())))
+            .collect()
     }
 
-    /// Total dollar cost across models.
+    /// Total dollar cost across models (summed in model-name order).
     pub fn total_cost(&self) -> f64 {
-        self.inner.lock().values().map(|(_, c)| c).sum()
+        self.inner.lock().values().map(Tally::cost).sum()
     }
 }
 
@@ -200,6 +258,46 @@ mod tests {
             }
         });
         assert_eq!(meter.snapshot()["m"].0.prompt_tokens, 8000);
+    }
+
+    #[test]
+    fn absorb_merges_usage_and_matches_inline_billing() {
+        let resp = |model: &str, prompt: u64| ChatResponse {
+            model: model.into(),
+            text: "Compute".into(),
+            trace: None,
+            usage: Usage {
+                prompt_tokens: prompt,
+                completion_tokens: 3,
+            },
+        };
+        // Billing a and b separately, then absorbing b into a, must equal
+        // billing everything on one meter.
+        let inline = UsageMeter::new();
+        inline.record(&resp("m1", 100), 2.0, 8.0);
+        inline.record(&resp("m2", 50), 1.0, 4.0);
+        inline.record(&resp("m1", 7), 2.0, 8.0);
+
+        let a = UsageMeter::new();
+        a.record(&resp("m1", 100), 2.0, 8.0);
+        let b = UsageMeter::new();
+        b.record(&resp("m2", 50), 1.0, 4.0);
+        b.record(&resp("m1", 7), 2.0, 8.0);
+        a.absorb(&b);
+
+        assert_eq!(a.snapshot().len(), inline.snapshot().len());
+        for (model, (usage, cost)) in a.snapshot() {
+            let (iu, ic) = inline.snapshot()[&model];
+            assert_eq!(usage, iu, "{model}");
+            assert_eq!(cost, ic, "{model}: derived costs must be bitwise equal");
+        }
+        assert_eq!(a.total_cost(), inline.total_cost());
+
+        // Absorbing a clone of itself is a no-op, not a deadlock/double.
+        let before = a.total_cost();
+        let alias = a.clone();
+        a.absorb(&alias);
+        assert_eq!(a.total_cost(), before);
     }
 
     #[test]

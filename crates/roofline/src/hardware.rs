@@ -142,17 +142,87 @@ impl HardwareSpec {
         }
     }
 
-    /// All built-in presets.
-    pub fn presets() -> Vec<HardwareSpec> {
-        vec![Self::rtx_3080(), Self::a100(), Self::v100(), Self::mi100()]
+    /// NVIDIA H100 SXM5 80GB (Hopper): full-rate DP, half-rate INT32,
+    /// HBM3. The cross-hardware suite's "datacenter flagship" point.
+    pub fn h100_sxm() -> Self {
+        HardwareSpec {
+            name: "NVIDIA H100 SXM5 80GB".to_string(),
+            peak_sp_gflops: 66_910.0,
+            peak_dp_gflops: 33_450.0,
+            peak_int_giops: 33_450.0,
+            bandwidth_gbs: 3_350.0,
+            memory_gib: 80.0,
+            num_sms: 132,
+            core_clock_mhz: 1_830.0,
+            l2_bytes: 50 * 1024 * 1024,
+        }
     }
 
-    /// Look up a preset by (case-insensitive) substring of its name.
+    /// NVIDIA GeForce RTX 4090 (Ada AD102): like the 3080, consumer
+    /// silicon with 1/64-rate DP pipes and half-rate INT32 — but with the
+    /// highest SP ridge point in the catalog (82.6 TFLOP/s over ~1 TB/s).
+    pub fn rtx_4090() -> Self {
+        HardwareSpec {
+            name: "NVIDIA GeForce RTX 4090".to_string(),
+            peak_sp_gflops: 82_580.0,
+            peak_dp_gflops: 1_290.0,
+            peak_int_giops: 41_290.0,
+            bandwidth_gbs: 1_008.0,
+            memory_gib: 24.0,
+            num_sms: 128,
+            core_clock_mhz: 2_520.0,
+            l2_bytes: 72 * 1024 * 1024,
+        }
+    }
+
+    /// AMD Instinct MI250X (CDNA2, both GCDs): full-rate vector DP over
+    /// 3.2 TB/s of HBM2e — the catalog's bandwidth-rich extreme.
+    pub fn mi250x() -> Self {
+        HardwareSpec {
+            name: "AMD Instinct MI250X".to_string(),
+            peak_sp_gflops: 47_870.0,
+            peak_dp_gflops: 47_870.0,
+            peak_int_giops: 47_870.0,
+            bandwidth_gbs: 3_277.0,
+            memory_gib: 128.0,
+            num_sms: 220,
+            core_clock_mhz: 1_700.0,
+            l2_bytes: 16 * 1024 * 1024,
+        }
+    }
+
+    /// All built-in presets.
+    pub fn presets() -> Vec<HardwareSpec> {
+        vec![
+            Self::rtx_3080(),
+            Self::a100(),
+            Self::v100(),
+            Self::mi100(),
+            Self::h100_sxm(),
+            Self::rtx_4090(),
+            Self::mi250x(),
+        ]
+    }
+
+    /// The marketing names of all built-in presets, in preset order.
+    pub fn preset_names() -> Vec<String> {
+        Self::presets().into_iter().map(|hw| hw.name).collect()
+    }
+
+    /// Look up a preset by a case- and format-insensitive fragment of its
+    /// name: `"A100"`, `"a100"`, `"RTX 3080"`, `"rtx-3080"` and
+    /// `"NVIDIA GeForce RTX 3080"` all resolve. Matching ignores case and
+    /// every non-alphanumeric character; the first preset (in
+    /// [`Self::presets`] order) whose normalized name contains the
+    /// normalized fragment wins. An empty fragment matches nothing.
     pub fn preset_by_name(name: &str) -> Option<HardwareSpec> {
-        let needle = name.to_ascii_lowercase();
+        let needle = normalize_name(name);
+        if needle.is_empty() {
+            return None;
+        }
         Self::presets()
             .into_iter()
-            .find(|hw| hw.name.to_ascii_lowercase().contains(&needle))
+            .find(|hw| normalize_name(&hw.name).contains(&needle))
     }
 
     /// Peak throughput for an operation class, in Gops/s.
@@ -167,6 +237,14 @@ impl HardwareSpec {
     /// The roofline for one operation class.
     pub fn roofline(&self, class: OpClass) -> Roofline {
         Roofline::new(self.peak_gops(class), self.bandwidth_gbs)
+    }
+
+    /// The ridge (balance) point of one class's roofline, in ops/byte:
+    /// the arithmetic intensity where the bandwidth slope meets the
+    /// compute ceiling. Kernels whose AI falls between two specs' ridge
+    /// points flip boundedness between them.
+    pub fn ridge_point(&self, class: OpClass) -> f64 {
+        self.peak_gops(class) / self.bandwidth_gbs
     }
 
     /// Validate physical plausibility of the spec.
@@ -204,6 +282,15 @@ impl HardwareSpec {
     }
 }
 
+/// Lowercase and strip every non-alphanumeric character, so name matching
+/// ignores vendor prefixes' spacing, dashes and case.
+fn normalize_name(s: &str) -> String {
+    s.chars()
+        .filter(char::is_ascii_alphanumeric)
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -227,11 +314,44 @@ mod tests {
     }
 
     #[test]
-    fn preset_lookup_is_case_insensitive_substring() {
-        assert!(HardwareSpec::preset_by_name("rtx 3080").is_some());
-        assert!(HardwareSpec::preset_by_name("A100").is_some());
-        assert!(HardwareSpec::preset_by_name("H900-nonexistent").is_none());
+    fn catalog_has_seven_presets_with_unique_names() {
+        let names = HardwareSpec::preset_names();
+        assert_eq!(names.len(), 7);
+        let unique: std::collections::BTreeSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len(), "duplicate preset names");
     }
+
+    #[test]
+    fn preset_lookup_is_case_and_format_insensitive() {
+        for fragment in [
+            "A100",
+            "a100",
+            "RTX 3080",
+            "rtx-3080",
+            "rtx3080",
+            "NVIDIA GeForce RTX 3080",
+            "h100",
+            "H100 SXM5",
+            "mi250x",
+            "MI250X",
+            "4090",
+        ] {
+            assert!(
+                HardwareSpec::preset_by_name(fragment).is_some(),
+                "'{fragment}' failed to resolve"
+            );
+        }
+        assert_eq!(
+            HardwareSpec::preset_by_name("rtx-3080").unwrap().name,
+            "NVIDIA GeForce RTX 3080"
+        );
+        assert!(HardwareSpec::preset_by_name("H900-nonexistent").is_none());
+        assert!(HardwareSpec::preset_by_name("").is_none());
+        assert!(HardwareSpec::preset_by_name(" -_- ").is_none());
+    }
+
+    // Catalog-wide invariants (ridge points, name round-trips, validation)
+    // live in the workspace property suite: tests/properties.rs.
 
     #[test]
     fn peak_gops_selects_the_right_class() {

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use parallel_code_estimation::gpu_sim::memory::coalescing_factor;
 use parallel_code_estimation::gpu_sim::AccessPattern;
 use parallel_code_estimation::metrics::{chi_squared_independence, ConfusionMatrix};
-use parallel_code_estimation::roofline::{Boundedness, OpClass, OpCounts, Roofline};
+use parallel_code_estimation::roofline::{Boundedness, HardwareSpec, OpClass, OpCounts, Roofline};
 use parallel_code_estimation::tokenizer::{reference, token_quartiles, BpeTrainer, Tokenizer};
 
 proptest! {
@@ -233,5 +233,89 @@ proptest! {
         prop_assert_eq!(Boundedness::parse(b.answer_token()), Some(b));
         prop_assert_eq!(Boundedness::parse(&b.answer_token().to_lowercase()), Some(b));
         prop_assert_eq!(b.flipped().flipped(), b);
+    }
+
+    #[test]
+    fn preset_lookup_survives_case_and_separator_mangling(
+        idx in 0usize..7,
+        case_seed in prop::collection::vec(0u8..2, 64..65),
+        sep in prop::sample::select(vec!["", " ", "-", "_", ".", "  "]),
+    ) {
+        let presets = HardwareSpec::presets();
+        prop_assert!(idx < presets.len());
+        let original = &presets[idx];
+        // Mangle: random per-character case, separators swapped for an
+        // arbitrary (possibly empty) non-alphanumeric string.
+        let mut mangled = String::new();
+        for (i, c) in original.name.chars().enumerate() {
+            if c.is_ascii_alphanumeric() {
+                if case_seed[i % case_seed.len()] == 0 {
+                    mangled.push(c.to_ascii_lowercase());
+                } else {
+                    mangled.push(c.to_ascii_uppercase());
+                }
+            } else {
+                mangled.push_str(sep);
+            }
+        }
+        let found = HardwareSpec::preset_by_name(&mangled);
+        prop_assert!(found.is_some(), "'{}' failed to resolve", mangled);
+        prop_assert_eq!(&found.unwrap().name, &original.name);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Hardware-catalog invariants: exhaustive over the preset list (the
+// "arbitrary input" here is every catalog entry, present and future).
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_preset_has_positive_peaks_and_bandwidth() {
+    let presets = HardwareSpec::presets();
+    assert!(presets.len() >= 6, "catalog shrank below the suite minimum");
+    for hw in &presets {
+        assert!(hw.validate().is_empty(), "{}: {:?}", hw.name, hw.validate());
+        for class in OpClass::ALL {
+            assert!(hw.peak_gops(class) > 0.0, "{} {class}", hw.name);
+        }
+        assert!(hw.bandwidth_gbs > 0.0, "{}", hw.name);
+    }
+}
+
+#[test]
+fn every_preset_ridge_point_is_finite_and_class_consistent() {
+    for hw in HardwareSpec::presets() {
+        for class in OpClass::ALL {
+            let ridge = hw.ridge_point(class);
+            assert!(
+                ridge.is_finite() && ridge > 0.0,
+                "{} {class}: ridge {ridge}",
+                hw.name
+            );
+            // The ridge point IS the roofline balance point.
+            assert_eq!(ridge, hw.roofline(class).balance_point(), "{}", hw.name);
+        }
+        // DP peak never exceeds SP peak (validated), so with one shared
+        // bandwidth the DP ridge can never exceed the SP ridge.
+        assert!(
+            hw.ridge_point(OpClass::Dp) <= hw.ridge_point(OpClass::Sp),
+            "{}: DP ridge above SP ridge",
+            hw.name
+        );
+    }
+}
+
+#[test]
+fn preset_by_name_round_trips_every_catalog_name() {
+    let presets = HardwareSpec::presets();
+    assert_eq!(HardwareSpec::preset_names().len(), presets.len());
+    for hw in &presets {
+        let by_full = HardwareSpec::preset_by_name(&hw.name)
+            .unwrap_or_else(|| panic!("'{}' did not resolve", hw.name));
+        assert_eq!(&by_full, hw, "full-name lookup must be exact");
+        let by_lower = HardwareSpec::preset_by_name(&hw.name.to_lowercase()).unwrap();
+        assert_eq!(&by_lower, hw);
+        let by_upper = HardwareSpec::preset_by_name(&hw.name.to_uppercase()).unwrap();
+        assert_eq!(&by_upper, hw);
     }
 }

@@ -1,0 +1,113 @@
+//! End-to-end tests for the cross-hardware suite: the shared build must
+//! be exactly equivalent to rebuilding every spec from scratch, the
+//! corpus/tokenizer work must be shared (not redone per spec), and the
+//! hardware matrix must actually flip kernel labels.
+
+use parallel_code_estimation::core::study::StudyData;
+use parallel_code_estimation::core::suite::{run_suite_shared, SharedBuild, Suite};
+use parallel_code_estimation::core::table1::build_table1;
+use parallel_code_estimation::roofline::{Boundedness, HardwareSpec};
+
+fn small_suite() -> Suite {
+    // Three specs spanning the catalog's extremes: consumer 1/64-rate DP
+    // (3080), balanced datacenter (A100), bandwidth-rich full-rate DP
+    // (MI250X).
+    Suite::smoke_with_specs(vec![
+        HardwareSpec::rtx_3080(),
+        HardwareSpec::a100(),
+        HardwareSpec::mi250x(),
+    ])
+}
+
+#[test]
+fn shared_build_is_equivalent_to_independent_rebuilds() {
+    let suite = small_suite();
+    let shared = SharedBuild::build(&suite);
+    let outcome = run_suite_shared(&suite, &shared);
+    assert_eq!(outcome.specs.len(), suite.specs.len());
+
+    for (hw, spec_out) in suite.specs.iter().zip(&outcome.specs) {
+        // Rebuild this spec completely from scratch: fresh corpus, fresh
+        // tokenizer training, fresh RQ1 runs.
+        let study = suite.base.with_hardware(hw.clone());
+        let data = StudyData::build(&study);
+        let table = build_table1(&study, &data);
+
+        assert_eq!(spec_out.funnel, data.report, "{}: funnel diverged", hw.name);
+        assert_eq!(
+            spec_out.table, table,
+            "{}: Table 1 diverged from a from-scratch rebuild",
+            hw.name
+        );
+        let ids: Vec<String> = data.dataset.samples.iter().map(|s| s.id.clone()).collect();
+        assert_eq!(spec_out.dataset_ids, ids, "{}", hw.name);
+    }
+}
+
+#[test]
+fn corpus_and_tokenizer_are_built_once_and_shared() {
+    let suite = small_suite();
+    let shared = SharedBuild::build(&suite);
+    let outcome = run_suite_shared(&suite, &shared);
+
+    // Every spec's funnel must carry the *shared* tokenization verbatim —
+    // the raw token distribution comes straight from `shared.tokenized`,
+    // not from a per-spec retrain.
+    assert!(shared.tokenized.raw_token_stats.is_some());
+    assert_eq!(shared.tokenized.token_counts.len(), shared.corpus.len());
+    for spec_out in &outcome.specs {
+        assert_eq!(
+            spec_out.funnel.raw_token_stats, shared.tokenized.raw_token_stats,
+            "{}: tokenization was not shared",
+            spec_out.spec.name
+        );
+        // Hardware never changes what was built, only how it is labeled.
+        let built: usize = spec_out.funnel.built.values().sum();
+        assert_eq!(built, shared.corpus.len(), "{}", spec_out.spec.name);
+        assert_eq!(
+            spec_out.funnel.corpus_labels.len(),
+            shared.corpus.len(),
+            "{}",
+            spec_out.spec.name
+        );
+    }
+}
+
+#[test]
+fn at_least_one_kernel_flips_between_presets() {
+    let suite = small_suite();
+    let outcome = run_suite_shared(&suite, &SharedBuild::build(&suite));
+    let flips = &outcome.flips;
+
+    assert!(
+        flips.flipping >= 1,
+        "no corpus kernel flipped boundedness anywhere in the matrix"
+    );
+    assert!(
+        flips.flipping < flips.kernels.len(),
+        "every kernel flipped — labels degenerate"
+    );
+    // A flipping kernel really does carry two distinct labels.
+    let flipper = flips.kernels.iter().find(|k| k.flips()).unwrap();
+    assert!(flipper.labels.contains(&Boundedness::Compute));
+    assert!(flipper.labels.contains(&Boundedness::Bandwidth));
+    // And the reference column of `flips_vs_reference` is zero by
+    // definition, while some other spec disagrees with it.
+    assert_eq!(flips.flips_vs_reference[0], 0);
+    assert!(flips.flips_vs_reference.iter().any(|&n| n > 0));
+    // Both accuracy pools exist at this scale (flipping and stable
+    // kernels both reach the balanced dataset).
+    assert!(flips.accuracy_on_flipping.is_some());
+    assert!(flips.accuracy_on_stable.is_some());
+}
+
+#[test]
+fn suite_smoke_covers_at_least_six_presets() {
+    // Acceptance: the `suite` binary's default matrix (all presets) spans
+    // ≥ 6 specs at smoke scale. Structural check here; CI runs the bin.
+    assert!(Suite::smoke().specs.len() >= 6);
+    assert!(Suite::default().specs.len() >= 6);
+    for hw in &Suite::smoke().specs {
+        assert!(hw.validate().is_empty(), "{} invalid", hw.name);
+    }
+}

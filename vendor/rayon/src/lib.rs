@@ -11,12 +11,27 @@ pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelSlice};
 }
 
-/// Number of worker threads: the available parallelism, capped by length.
+/// Worker-thread budget: `RAYON_NUM_THREADS` when set (real rayon honors
+/// the same variable), otherwise the available parallelism.
+///
+/// Unlike real rayon — which reads the variable once at global-pool
+/// initialisation — this stand-in re-reads it per call, so tests can
+/// toggle serial vs parallel execution in-process.
+fn thread_budget() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Number of worker threads: the thread budget, capped by length.
 fn workers(len: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    cores.min(len).max(1)
+    thread_budget().min(len).max(1)
 }
 
 /// Run `f(index, &item)` over the slice on a scoped thread team and return
@@ -209,11 +224,10 @@ where
     }
 }
 
-/// The worker-thread count rayon would use (real rayon API).
+/// The worker-thread count rayon would use (real rayon API); honors
+/// `RAYON_NUM_THREADS`.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    thread_budget()
 }
 
 /// Parallel iteration over fixed-size sub-slices, mirroring rayon's
