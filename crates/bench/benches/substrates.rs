@@ -107,7 +107,7 @@ fn bench_metrics(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(bootstrap_ci(
                 &outcomes,
-                |xs| xs.iter().filter(|&&x| x).count() as f64 / xs.len() as f64,
+                |xs| xs.iter().filter(|&&&x| x).count() as f64 / xs.len() as f64,
                 1000,
                 0.95,
                 7,

@@ -6,10 +6,17 @@
 //! restricts the hardware matrix (names resolve case/format-insensitively,
 //! e.g. `--specs "a100,rtx-4090,MI250X"`). Default is paper scale across
 //! the full preset catalog.
+//!
+//! `--timings [path]` additionally instruments the run: per-stage
+//! wall-clock and cache-hit counters are printed and written as JSON
+//! (default `BENCH_suite.json`) — the perf baseline future PRs measure
+//! against. The rendered reports are byte-identical with or without the
+//! flag.
 
-use pce_bench::{parse_specs, study_from_args};
+use pce_bench::{parse_specs, study_from_args, timings_path_from_args};
+use pce_core::caches::SuiteCaches;
 use pce_core::report::{render_flips_csv, render_suite, render_suite_csv};
-use pce_core::suite::{run_suite, Suite};
+use pce_core::suite::{run_suite, run_suite_timed, Suite};
 use pce_roofline::HardwareSpec;
 
 fn main() {
@@ -38,7 +45,21 @@ fn main() {
         base: study_from_args(),
         specs,
     };
-    let outcome = run_suite(&suite);
+
+    let timings = timings_path_from_args(&args);
+    let outcome = match &timings {
+        None => run_suite(&suite),
+        Some(path) => {
+            let caches = SuiteCaches::new();
+            let (outcome, bench) = run_suite_timed(&suite, &caches);
+            let json = serde_json::to_string_pretty(&bench).expect("bench report serialization");
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("{}", bench.summary());
+            eprintln!("wrote {path}");
+            outcome
+        }
+    };
+
     println!("{}", render_suite(&outcome));
     println!(
         "### CSV — per-cell metrics\n\n{}",

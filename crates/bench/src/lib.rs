@@ -38,6 +38,20 @@ pub fn bench_study() -> Study {
     Study::smoke()
 }
 
+/// Parse the `--timings [path]` convention: `None` when the flag is
+/// absent, otherwise the output path for the timing JSON (default
+/// `BENCH_suite.json`). A following argument is treated as the path
+/// unless it looks like another flag.
+pub fn timings_path_from_args(args: &[String]) -> Option<String> {
+    let at = args.iter().position(|a| a == "--timings")?;
+    Some(
+        args.get(at + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_suite.json".to_string()),
+    )
+}
+
 /// Parse a comma-separated `--specs` list into hardware presets.
 ///
 /// Names resolve case- and format-insensitively (`"a100"`, `"RTX 3080"`,
@@ -76,6 +90,24 @@ mod tests {
         );
         // Empty segments are skipped, an empty list parses to no specs.
         assert!(parse_specs(" , ,").unwrap().is_empty());
+    }
+
+    #[test]
+    fn timings_flag_parses_with_and_without_path() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(timings_path_from_args(&args(&["suite", "--smoke"])), None);
+        assert_eq!(
+            timings_path_from_args(&args(&["suite", "--timings"])),
+            Some("BENCH_suite.json".to_string())
+        );
+        assert_eq!(
+            timings_path_from_args(&args(&["suite", "--timings", "out.json"])),
+            Some("out.json".to_string())
+        );
+        assert_eq!(
+            timings_path_from_args(&args(&["suite", "--timings", "--smoke"])),
+            Some("BENCH_suite.json".to_string())
+        );
     }
 
     #[test]

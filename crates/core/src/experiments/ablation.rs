@@ -10,11 +10,12 @@ use serde::{Deserialize, Serialize};
 
 use pce_dataset::Sample;
 use pce_llm::zoo::{Capability, ModelSpec};
+use pce_llm::SurrogateEngine;
 use pce_metrics::{ConfusionMatrix, MetricBundle};
 use pce_prompt::ShotStyle;
 use pce_roofline::Boundedness;
 
-use crate::experiments::rq23::prompt_for_sample;
+use crate::experiments::rq23::render_prompts;
 use crate::study::Study;
 
 /// One ablation point: a synthetic model and its measured metrics.
@@ -45,10 +46,15 @@ pub fn run_capability_ablation(study: &Study, samples: &[Sample]) -> Vec<Ablatio
         ("high-insight, half-reuse", 0.9, 0.45),
         ("high-insight, full-reuse", 0.9, 0.9),
     ];
+    // One engine and one prompt render pass serve the whole sweep: every
+    // grid point asks about the same prompts, so parses and analyses are
+    // cached across points instead of re-derived per completion.
+    let engine = SurrogateEngine::new();
+    let prompts = render_prompts(study, samples, ShotStyle::ZeroShot);
     grid.iter()
         .map(|&(label, insight, reuse)| {
             let spec = synthetic_spec(label, insight, reuse);
-            let metrics = score_spec(study, &spec, samples);
+            let metrics = score_spec(study, &engine, &spec, samples, &prompts);
             AblationPoint {
                 label: label.to_string(),
                 insight,
@@ -78,15 +84,25 @@ fn synthetic_spec(name: &str, insight: f64, reuse_aware: f64) -> ModelSpec {
 }
 
 /// Score a synthetic spec by routing through the engine's public
-/// evaluation path (`pce_llm::engine::complete_with_spec`).
-fn score_spec(study: &Study, spec: &ModelSpec, samples: &[Sample]) -> MetricBundle {
+/// evaluation path (`pce_llm::engine::complete_with_spec_on`).
+fn score_spec(
+    study: &Study,
+    engine: &SurrogateEngine,
+    spec: &ModelSpec,
+    samples: &[Sample],
+    prompts: &[String],
+) -> MetricBundle {
     use rayon::prelude::*;
     let results: Vec<(bool, Option<bool>)> = samples
         .par_iter()
         .enumerate()
         .map(|(i, sample)| {
-            let prompt = prompt_for_sample(study, sample, ShotStyle::ZeroShot);
-            let text = pce_llm::engine::complete_with_spec(spec, &prompt, study.seed ^ i as u64);
+            let text = pce_llm::engine::complete_with_spec_on(
+                engine,
+                spec,
+                &prompts[i],
+                study.seed ^ i as u64,
+            );
             let truth = sample.label == Boundedness::Compute;
             let pred = Boundedness::parse(&text).map(|b| b == Boundedness::Compute);
             (truth, pred)

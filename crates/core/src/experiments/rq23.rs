@@ -6,7 +6,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::Sample;
-use pce_llm::{ChatRequest, SamplingParams, SurrogateEngine};
+use pce_llm::{SamplingParams, SurrogateEngine};
 use pce_metrics::{ConfusionMatrix, MetricBundle};
 use pce_prompt::{render_classify_prompt, ClassifyRequest, ShotStyle};
 use pce_roofline::Boundedness;
@@ -42,6 +42,19 @@ pub fn prompt_for_sample(study: &Study, sample: &Sample, style: ShotStyle) -> St
     render_classify_prompt(&req, style)
 }
 
+/// Render the Fig.-4 prompt for every sample (parallel), aligned with the
+/// sample order.
+///
+/// Prompts depend on (sample, shot-style, study hardware) but never on
+/// the model, so one rendered set serves the whole zoo — the Table-1
+/// assembly renders here once and fans the result out over nine models.
+pub fn render_prompts(study: &Study, samples: &[Sample], style: ShotStyle) -> Vec<String> {
+    samples
+        .par_iter()
+        .map(|s| prompt_for_sample(study, s, style))
+        .collect()
+}
+
 /// Run a classification experiment over the dataset for one model.
 pub fn run_classification(
     study: &Study,
@@ -50,17 +63,36 @@ pub fn run_classification(
     samples: &[Sample],
     style: ShotStyle,
 ) -> ClassificationOutcome {
+    let prompts = render_prompts(study, samples, style);
+    run_classification_prompted(study, engine, model, samples, &prompts, style)
+}
+
+/// Run a classification experiment against pre-rendered prompts (one per
+/// sample, in sample order). Bit-identical to [`run_classification`];
+/// callers evaluating several models share one render pass.
+///
+/// # Panics
+/// Panics when `prompts` is not aligned with `samples`.
+pub fn run_classification_prompted(
+    study: &Study,
+    engine: &SurrogateEngine,
+    model: &str,
+    samples: &[Sample],
+    prompts: &[String],
+    style: ShotStyle,
+) -> ClassificationOutcome {
+    assert_eq!(
+        samples.len(),
+        prompts.len(),
+        "prompts are not aligned with the sample set"
+    );
     let sampling = SamplingParams::default(); // temperature 0.1, top_p 0.2 (§3.2)
     let results: Vec<(bool, Option<bool>)> = samples
         .par_iter()
         .enumerate()
         .map(|(i, sample)| {
-            let prompt = prompt_for_sample(study, sample, style);
-            let resp = engine.complete(
-                &ChatRequest::new(model, prompt)
-                    .with_sampling(sampling)
-                    .with_seed(study.seed ^ i as u64),
-            );
+            let resp =
+                engine.complete_prompt(model, &prompts[i], Some(sampling), study.seed ^ i as u64);
             let truth = sample.label == Boundedness::Compute;
             let pred = Boundedness::parse(&resp.text).map(|b| b == Boundedness::Compute);
             (truth, pred)
@@ -150,6 +182,59 @@ mod tests {
         assert!(
             !mc.significant_at(0.01),
             "RQ2 vs RQ3 should not differ strongly"
+        );
+    }
+
+    #[test]
+    fn prompted_runner_matches_inline_rendering_across_engines() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let engine = SurrogateEngine::new();
+        for style in [ShotStyle::ZeroShot, ShotStyle::FewShot] {
+            let prompts = render_prompts(&study, &data.dataset.samples, style);
+            assert_eq!(prompts.len(), data.dataset.len());
+            for model in ["o3-mini", "gpt-4o-mini"] {
+                let inline =
+                    run_classification(&study, &engine, model, &data.dataset.samples, style);
+                let shared = run_classification_prompted(
+                    &study,
+                    &engine,
+                    model,
+                    &data.dataset.samples,
+                    &prompts,
+                    style,
+                );
+                // A cache-sharing engine answers identically too.
+                let warm_engine = SurrogateEngine::with_caches(engine.caches().clone());
+                let warm = run_classification_prompted(
+                    &study,
+                    &warm_engine,
+                    model,
+                    &data.dataset.samples,
+                    &prompts,
+                    style,
+                );
+                assert_eq!(inline, shared, "{model}");
+                assert_eq!(inline, warm, "{model} (warm caches)");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_prompts_are_rejected() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let engine = SurrogateEngine::new();
+        let mut prompts = render_prompts(&study, &data.dataset.samples, ShotStyle::ZeroShot);
+        prompts.pop();
+        run_classification_prompted(
+            &study,
+            &engine,
+            "o3-mini",
+            &data.dataset.samples,
+            &prompts,
+            ShotStyle::ZeroShot,
         );
     }
 

@@ -14,6 +14,9 @@
 //! * [`suite`] — the cross-hardware study matrix: every (hardware spec ×
 //!   model × RQ) cell from one shared corpus/tokenizer/RQ1 build, plus
 //!   the label-flip analysis,
+//! * [`caches`] — the cross-layer memoization bundle ([`SuiteCaches`])
+//!   the suite threads through the profiler, the surrogate engine, and
+//!   the prompt renderer so each pure computation happens once,
 //! * [`figures`] — the Figure 1 roofline scatter and Figure 2 token
 //!   distributions,
 //! * [`report`] — markdown/CSV rendering of all of the above.
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod caches;
 pub mod experiments;
 pub mod figures;
 pub mod report;
@@ -38,5 +42,6 @@ pub mod study;
 pub mod suite;
 pub mod table1;
 
+pub use caches::{CacheReport, SuiteCaches};
 pub use study::{Study, StudyData};
-pub use suite::{run_suite, Suite, SuiteOutcome};
+pub use suite::{run_suite, run_suite_cached, run_suite_timed, Suite, SuiteBench, SuiteOutcome};

@@ -22,16 +22,18 @@
 //! byte-identically under any `RAYON_NUM_THREADS`.
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use pce_dataset::{run_pipeline_with, tokenize_corpus, PipelineReport, TokenizedCorpus};
+use pce_dataset::{run_pipeline_cached, tokenize_corpus, PipelineReport, TokenizedCorpus};
 use pce_kernels::{build_corpus, Program};
 use pce_roofline::{Boundedness, HardwareSpec};
 
+use crate::caches::{CacheReport, SuiteCaches};
 use crate::study::Study;
-use crate::table1::{build_table1_from_bank, Rq1Bank, Table1};
+use crate::table1::{build_table1_from_bank_cached, Rq1Bank, Table1};
 
 /// Cross-hardware suite configuration: one base study re-targeted at a
 /// list of hardware specs.
@@ -89,9 +91,36 @@ pub struct SharedBuild {
 impl SharedBuild {
     /// Build the shared half from the suite's base study.
     pub fn build(suite: &Suite) -> SharedBuild {
+        SharedBuild::build_cached(suite, &SuiteCaches::new())
+    }
+
+    /// [`SharedBuild::build`] against a shared cache bundle (the RQ1 bank
+    /// routes its prompt parsing through the bundle's caches).
+    pub fn build_cached(suite: &Suite, caches: &SuiteCaches) -> SharedBuild {
+        SharedBuild::build_instrumented(suite, caches, &mut |_, _| {})
+    }
+
+    /// The one shared-build implementation: both the plain and the timed
+    /// suite runners go through here, so the stage sequence cannot
+    /// silently diverge between them. `stage` observes each completed
+    /// stage (name, start instant).
+    fn build_instrumented(
+        suite: &Suite,
+        caches: &SuiteCaches,
+        stage: &mut dyn FnMut(&'static str, Instant),
+    ) -> SharedBuild {
+        let t = Instant::now();
         let corpus = build_corpus(&suite.base.corpus);
+        stage("corpus", t);
+
+        let t = Instant::now();
         let tokenized = tokenize_corpus(&corpus, &suite.base.pipeline);
-        let rq1 = Rq1Bank::build(&suite.base);
+        stage("tokenize", t);
+
+        let t = Instant::now();
+        let rq1 = Rq1Bank::build_cached(&suite.base, &caches.llm);
+        stage("rq1-bank", t);
+
         SharedBuild {
             corpus,
             tokenized,
@@ -166,8 +195,15 @@ pub struct SuiteOutcome {
 
 /// Run the whole suite: shared build, then every (hardware, model) cell.
 pub fn run_suite(suite: &Suite) -> SuiteOutcome {
-    let shared = SharedBuild::build(suite);
-    run_suite_shared(suite, &shared)
+    run_suite_cached(suite, &SuiteCaches::new())
+}
+
+/// Run the whole suite against a shared cache bundle. Reusing one bundle
+/// across runs also reuses per-(kernel, spec) profiles and analyses;
+/// warm and cold bundles produce byte-identical outcomes.
+pub fn run_suite_cached(suite: &Suite, caches: &SuiteCaches) -> SuiteOutcome {
+    let shared = SharedBuild::build_cached(suite, caches);
+    run_suite_shared_cached(suite, &shared, caches)
 }
 
 /// Run the suite against an existing [`SharedBuild`] (exposed so tests
@@ -176,17 +212,42 @@ pub fn run_suite(suite: &Suite) -> SuiteOutcome {
 /// # Panics
 /// Panics when `suite.specs` is empty.
 pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
+    run_suite_shared_cached(suite, shared, &SuiteCaches::new())
+}
+
+/// [`run_suite_shared`] against a shared cache bundle.
+///
+/// # Panics
+/// Panics when `suite.specs` is empty.
+pub fn run_suite_shared_cached(
+    suite: &Suite,
+    shared: &SharedBuild,
+    caches: &SuiteCaches,
+) -> SuiteOutcome {
     assert!(!suite.specs.is_empty(), "suite needs at least one spec");
-    let specs: Vec<SpecOutcome> = suite
+    let specs = run_specs(suite, shared, caches);
+    let flips = analyze_flips(&shared.corpus, &specs);
+    SuiteOutcome { specs, flips }
+}
+
+/// Evaluate every hardware spec (parallel) against the shared build.
+fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<SpecOutcome> {
+    suite
         .specs
         .par_iter()
         .map(|hw| {
             let study = suite.base.with_hardware(hw.clone());
             // Re-profile and relabel the shared corpus under this spec;
-            // no per-spec corpus clone or tokenizer retrain.
-            let (dataset, _split, funnel) =
-                run_pipeline_with(&shared.corpus, &shared.tokenized, &study.pipeline);
-            let detail = build_table1_from_bank(&study, &dataset.samples, &shared.rq1);
+            // no per-spec corpus clone or tokenizer retrain, and the
+            // cache bundle shares body summaries across the whole matrix.
+            let (dataset, _split, funnel) = run_pipeline_cached(
+                &shared.corpus,
+                &shared.tokenized,
+                &study.pipeline,
+                &caches.sim,
+            );
+            let detail =
+                build_table1_from_bank_cached(&study, &dataset.samples, &shared.rq1, caches);
             SpecOutcome {
                 spec: hw.clone(),
                 dataset_ids: dataset.samples.iter().map(|s| s.id.clone()).collect(),
@@ -195,9 +256,105 @@ pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
                 funnel,
             }
         })
-        .collect();
+        .collect()
+}
+
+/// Wall-clock of one suite stage, as serialized into `BENCH_suite.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`corpus`, `tokenize`, `rq1-bank`, `spec-eval`,
+    /// `flip-analysis`).
+    pub stage: String,
+    /// Wall-clock milliseconds spent in the stage.
+    pub wall_ms: f64,
+}
+
+/// The suite's performance report: per-stage wall-clock plus the cache
+/// bundle's hit/miss counters. Written as `BENCH_suite.json` by the
+/// `suite` bin under `--timings`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteBench {
+    /// Hardware specs evaluated.
+    pub specs: usize,
+    /// Models per spec (the Table-1 zoo).
+    pub models_per_spec: usize,
+    /// Per-stage wall-clock, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// End-to-end wall-clock milliseconds (stages plus glue).
+    pub total_ms: f64,
+    /// Cache effectiveness across every layer.
+    pub caches: CacheReport,
+}
+
+impl SuiteBench {
+    /// Render a compact human-readable summary (one line per stage, then
+    /// per cache).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "suite bench: {} specs x {} models, total {:.1} ms\n",
+            self.specs, self.models_per_spec, self.total_ms
+        ));
+        for s in &self.stages {
+            out.push_str(&format!("  stage {:<14} {:>10.1} ms\n", s.stage, s.wall_ms));
+        }
+        let c = &self.caches;
+        for (name, counters) in [
+            ("summary", c.summary),
+            ("profile", c.profile),
+            ("analysis", c.analysis),
+            ("classify-parse", c.classify_parse),
+            ("rq1-parse", c.rq1_parse),
+        ] {
+            out.push_str(&format!(
+                "  cache {:<15} {:>8} hits / {:>7} lookups ({:.1}% hit)\n",
+                name,
+                counters.hits,
+                counters.total(),
+                100.0 * counters.hit_rate()
+            ));
+        }
+        out.push_str(&format!("  prompt renders    {:>8}\n", c.prompt_renders));
+        out
+    }
+}
+
+/// Run the whole suite with stage-level timing instrumentation.
+///
+/// The outcome is byte-identical to [`run_suite_cached`] on the same
+/// bundle; the accompanying [`SuiteBench`] carries per-stage wall-clock
+/// and the bundle's cache counters.
+pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, SuiteBench) {
+    assert!(!suite.specs.is_empty(), "suite needs at least one spec");
+    let t_total = Instant::now();
+    let mut stages = Vec::new();
+    let mut stage = |name: &str, t: Instant| {
+        stages.push(StageTiming {
+            stage: name.to_string(),
+            wall_ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+    };
+
+    // Exactly the untimed pipeline, observed: the shared build and the
+    // spec evaluation are the same functions run_suite_cached composes.
+    let shared = SharedBuild::build_instrumented(suite, caches, &mut stage);
+
+    let t = Instant::now();
+    let specs = run_specs(suite, &shared, caches);
+    stage("spec-eval", t);
+
+    let t = Instant::now();
     let flips = analyze_flips(&shared.corpus, &specs);
-    SuiteOutcome { specs, flips }
+    stage("flip-analysis", t);
+
+    let bench = SuiteBench {
+        specs: suite.specs.len(),
+        models_per_spec: pce_llm::model_zoo().len(),
+        stages,
+        total_ms: t_total.elapsed().as_secs_f64() * 1e3,
+        caches: caches.report(),
+    };
+    (SuiteOutcome { specs, flips }, bench)
 }
 
 /// Cross-spec label comparison plus flip-tracking accuracy.
@@ -314,6 +471,53 @@ mod tests {
         .flatten()
         {
             assert!((0.0..=100.0).contains(&acc), "{acc}");
+        }
+    }
+
+    #[test]
+    fn warm_and_cold_bundles_produce_identical_outcomes() {
+        let suite = tiny_suite();
+        let cold = run_suite(&suite);
+        let caches = SuiteCaches::new();
+        let warm_first = run_suite_cached(&suite, &caches);
+        let warm_second = run_suite_cached(&suite, &caches);
+        assert_eq!(cold, warm_first, "cold vs first cached run");
+        assert_eq!(cold, warm_second, "cold vs fully-warm rerun");
+        // The rerun must have been served from the profile memo and the
+        // analysis cache, not recomputed.
+        let report = caches.report();
+        assert!(report.profile.hits > 0, "{report:?}");
+        assert!(report.analysis.hits > 0, "{report:?}");
+        assert!(report.summary.hits > 0, "{report:?}");
+    }
+
+    #[test]
+    fn timed_run_matches_untimed_and_reports_stages() {
+        let suite = tiny_suite();
+        let caches = SuiteCaches::new();
+        let (outcome, bench) = run_suite_timed(&suite, &caches);
+        assert_eq!(outcome, run_suite(&suite));
+        assert_eq!(bench.specs, suite.specs.len());
+        assert_eq!(bench.models_per_spec, 9);
+        let names: Vec<&str> = bench.stages.iter().map(|s| s.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "corpus",
+                "tokenize",
+                "rq1-bank",
+                "spec-eval",
+                "flip-analysis"
+            ]
+        );
+        assert!(bench.stages.iter().all(|s| s.wall_ms >= 0.0));
+        assert!(bench.total_ms >= bench.stages.iter().map(|s| s.wall_ms).sum::<f64>() * 0.99);
+        // Both shot styles × both specs rendered once per sample.
+        let expected: usize = outcome.specs.iter().map(|s| 2 * s.dataset_ids.len()).sum();
+        assert_eq!(bench.caches.prompt_renders as usize, expected);
+        let summary = bench.summary();
+        for needle in ["spec-eval", "analysis", "prompt renders"] {
+            assert!(summary.contains(needle), "missing {needle}:\n{summary}");
         }
     }
 

@@ -9,11 +9,13 @@ use std::collections::BTreeMap;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-use pce_llm::{model_zoo, SurrogateEngine, UsageMeter};
+use pce_llm::{model_zoo, LlmCaches, SurrogateEngine, UsageMeter};
 use pce_metrics::MetricBundle;
 use pce_prompt::ShotStyle;
 
-use crate::experiments::{run_classification, run_rq1, Rq1Outcome};
+use crate::caches::SuiteCaches;
+use crate::experiments::rq23::{render_prompts, run_classification_prompted};
+use crate::experiments::{run_rq1, Rq1Outcome};
 use crate::study::{Study, StudyData};
 
 /// One Table-1 row.
@@ -68,7 +70,14 @@ impl Rq1Bank {
     /// Run RQ1 for every zoo model the paper evaluates (parallel over
     /// models).
     pub fn build(study: &Study) -> Rq1Bank {
-        let engine = SurrogateEngine::new();
+        Rq1Bank::build_cached(study, &LlmCaches::new())
+    }
+
+    /// [`Rq1Bank::build`] against a shared engine cache bundle: the RQ1
+    /// prompt-parse cache collapses the per-model re-parsing of the same
+    /// few-shot prompts. Bit-identical to an uncached build.
+    pub fn build_cached(study: &Study, caches: &LlmCaches) -> Rq1Bank {
+        let engine = SurrogateEngine::with_caches(caches.clone());
         let names: Vec<String> = model_zoo()
             .iter()
             .filter(|m| !RQ1_SKIP.contains(&m.name.as_str()))
@@ -117,8 +126,27 @@ pub fn build_table1_from_bank(
     samples: &[pce_dataset::Sample],
     bank: &Rq1Bank,
 ) -> Table1Detail {
-    let engine = SurrogateEngine::new();
+    build_table1_from_bank_cached(study, samples, bank, &SuiteCaches::new())
+}
+
+/// [`build_table1_from_bank`] against a shared cache bundle.
+///
+/// Each (sample, shot-style) prompt is rendered **once** and fanned out
+/// over the nine-model zoo, and the engine's analysis/parse caches are
+/// shared with whatever else runs on the bundle (other hardware specs,
+/// repeated runs). Bit-identical to the uncached assembly.
+pub fn build_table1_from_bank_cached(
+    study: &Study,
+    samples: &[pce_dataset::Sample],
+    bank: &Rq1Bank,
+    caches: &SuiteCaches,
+) -> Table1Detail {
+    let engine = SurrogateEngine::with_caches(caches.llm.clone());
     let zoo = model_zoo();
+    // One render pass per shot style, shared by every model below.
+    let zero_prompts = render_prompts(study, samples, ShotStyle::ZeroShot);
+    let few_prompts = render_prompts(study, samples, ShotStyle::FewShot);
+    caches.count_prompt_renders((zero_prompts.len() + few_prompts.len()) as u64);
     let cells: Vec<(Table1Row, Vec<bool>)> = zoo
         .par_iter()
         .map(|spec| {
@@ -126,8 +154,22 @@ pub fn build_table1_from_bank(
                 Some(out) => (Some(out.best_acc), Some(out.best_acc_cot)),
                 None => (None, None),
             };
-            let rq2 = run_classification(study, &engine, &spec.name, samples, ShotStyle::ZeroShot);
-            let rq3 = run_classification(study, &engine, &spec.name, samples, ShotStyle::FewShot);
+            let rq2 = run_classification_prompted(
+                study,
+                &engine,
+                &spec.name,
+                samples,
+                &zero_prompts,
+                ShotStyle::ZeroShot,
+            );
+            let rq3 = run_classification_prompted(
+                study,
+                &engine,
+                &spec.name,
+                samples,
+                &few_prompts,
+                ShotStyle::FewShot,
+            );
             let row = Table1Row {
                 model: spec.name.clone(),
                 reasoning: spec.reasoning,
@@ -241,6 +283,34 @@ mod tests {
         for (model, correct) in &detail_a.zero_shot_correct {
             assert_eq!(correct.len(), data.dataset.len(), "{model}");
         }
+    }
+
+    #[test]
+    fn cached_assembly_is_bit_identical_including_cost() {
+        let study = Study::smoke();
+        let data = StudyData::build(&study);
+        let caches = SuiteCaches::new();
+        let bank = Rq1Bank::build_cached(&study, &caches.llm);
+        assert_eq!(
+            bank.outcome("o3-mini").map(|o| o.best_acc),
+            Rq1Bank::build(&study)
+                .outcome("o3-mini")
+                .map(|o| o.best_acc)
+        );
+        let cold = build_table1_from_bank(&study, &data.dataset.samples, &bank);
+        let warm = build_table1_from_bank_cached(&study, &data.dataset.samples, &bank, &caches);
+        // Exact equality, total_cost included: billing derives from
+        // integer token totals over byte-identical prompts.
+        assert_eq!(cold, warm);
+        // Run again on the warm bundle: still identical, and the shared
+        // caches actually collapsed work.
+        let warm2 = build_table1_from_bank_cached(&study, &data.dataset.samples, &bank, &caches);
+        assert_eq!(cold, warm2);
+        let report = caches.report();
+        assert!(report.analysis.hits > 0, "{report:?}");
+        assert!(report.classify_parse.hits > 0, "{report:?}");
+        // Two assemblies × two styles × one render per sample each.
+        assert_eq!(report.prompt_renders as usize, 4 * data.dataset.len());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-use pce_gpu_sim::Profiler;
+use pce_gpu_sim::{Profiler, SimCaches};
 use pce_kernels::{Language, Program};
 use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
 use pce_tokenizer::{token_quartiles, BpeTrainer, TokenStats, Tokenizer};
@@ -177,6 +177,35 @@ pub fn run_pipeline_with(
     tokenized: &TokenizedCorpus,
     cfg: &PipelineConfig,
 ) -> (Dataset, Split, PipelineReport) {
+    run_pipeline_impl(corpus, tokenized, cfg, Profiler::new(cfg.hardware.clone()))
+}
+
+/// [`run_pipeline_with`] against a shared profiler cache bundle.
+///
+/// Body summaries are hardware-independent, so a cross-hardware suite
+/// that runs this once per spec folds each kernel exactly once; profiles
+/// themselves are memoized per (kernel, launch, hardware) and survive
+/// across repeated suite runs. Bit-identical to the uncached pipeline.
+pub fn run_pipeline_cached(
+    corpus: &[Program],
+    tokenized: &TokenizedCorpus,
+    cfg: &PipelineConfig,
+    caches: &SimCaches,
+) -> (Dataset, Split, PipelineReport) {
+    run_pipeline_impl(
+        corpus,
+        tokenized,
+        cfg,
+        Profiler::new(cfg.hardware.clone()).with_caches(caches.clone()),
+    )
+}
+
+fn run_pipeline_impl(
+    corpus: &[Program],
+    tokenized: &TokenizedCorpus,
+    cfg: &PipelineConfig,
+    profiler: Profiler,
+) -> (Dataset, Split, PipelineReport) {
     assert_eq!(
         tokenized.token_counts.len(),
         corpus.len(),
@@ -186,12 +215,11 @@ pub fn run_pipeline_with(
     let raw_token_stats = tokenized.raw_token_stats;
 
     // --- Profile + label (parallel) --------------------------------------
-    let profiler = Profiler::new(cfg.hardware.clone());
     let mut samples: Vec<Sample> = corpus
         .par_iter()
         .enumerate()
         .map(|(i, p)| {
-            let profile = profiler.profile(&p.ir, &p.launch);
+            let profile = profiler.profile_shared(&p.ir, &p.launch);
             let label = classify_joint(&cfg.hardware, &profile.counts).label;
             Sample {
                 id: p.id.clone(),
@@ -390,6 +418,33 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(sa, sb);
         assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn cached_pipeline_is_bit_identical_and_shares_summaries_across_specs() {
+        let corpus = small_corpus();
+        let c = cfg();
+        let tokenized = tokenize_corpus(&corpus, &c);
+        let caches = SimCaches::new();
+        let mut other = c.clone();
+        other.hardware = pce_roofline::HardwareSpec::a100();
+        for cfg in [&c, &other] {
+            let cold = run_pipeline_with(&corpus, &tokenized, cfg);
+            let warm = run_pipeline_cached(&corpus, &tokenized, cfg, &caches);
+            assert_eq!(cold, warm, "{}", cfg.hardware.name);
+        }
+        // The second spec re-used every fold; the corpus was summarized
+        // exactly once per kernel.
+        let sc = caches.summaries().counters();
+        assert_eq!(sc.misses as usize, corpus.len());
+        assert_eq!(sc.hits as usize, corpus.len());
+        // Re-running a spec hits the whole-profile memo.
+        let before = caches.profiles().counters().hits;
+        let _ = run_pipeline_cached(&corpus, &tokenized, &c, &caches);
+        assert_eq!(
+            caches.profiles().counters().hits - before,
+            corpus.len() as u64
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! source generators lower to this IR; the simulator folds the tree into
 //! per-thread cost vectors.
 
+use pce_memo::Fnv;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -335,6 +336,26 @@ impl KernelIr {
         BodySummary { costs, demands }
     }
 
+    /// A structural fingerprint of the kernel (FNV-1a over the op tree,
+    /// buffer declarations, and entry guard).
+    ///
+    /// The profiler's memoization layer buckets cache entries by this
+    /// value; collisions are tolerated because caches verify candidate
+    /// entries with full structural equality before reusing them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&self.name);
+        h.u64(self.buffers.len() as u64);
+        for b in &self.buffers {
+            h.str(&b.name);
+            h.u64(b.elem_bytes);
+            hash_extent(&b.len, &mut h);
+        }
+        hash_ops(&self.body, &mut h);
+        h.f64(self.active_fraction);
+        h.finish()
+    }
+
     /// Static (source-apparent) op totals for a launch: what a perfect
     /// reader of the code would count, before any cache effects.
     pub fn static_op_estimate(
@@ -349,6 +370,86 @@ impl KernelIr {
             s.costs.flops_dp * t,
             s.costs.intops * t,
         )
+    }
+}
+
+fn hash_extent(e: &Extent, h: &mut Fnv) {
+    match e {
+        Extent::Const(v) => {
+            h.u64(0);
+            h.u64(*v);
+        }
+        Extent::Param(name) => {
+            h.u64(1);
+            h.str(name);
+        }
+        Extent::ParamScaled(name, scale) => {
+            h.u64(2);
+            h.str(name);
+            h.f64(*scale);
+        }
+    }
+}
+
+fn hash_ops(ops: &[Op], h: &mut Fnv) {
+    h.u64(ops.len() as u64);
+    for op in ops {
+        match op {
+            Op::Flop(p) => {
+                h.u64(10);
+                h.u64(p.bytes());
+            }
+            Op::Fma(p) => {
+                h.u64(11);
+                h.u64(p.bytes());
+            }
+            Op::Special(p, f) => {
+                h.u64(12);
+                h.u64(p.bytes());
+                h.u64(f.flop_weight());
+            }
+            Op::Int(kind) => {
+                h.u64(13);
+                h.u64(match kind {
+                    IntKind::Simple => 0,
+                    IntKind::Mul => 1,
+                    IntKind::Div => 2,
+                });
+            }
+            Op::Mem {
+                buffer,
+                dir,
+                pattern,
+            } => {
+                h.u64(14);
+                h.str(buffer);
+                h.u64(matches!(dir, Dir::Write) as u64);
+                match pattern {
+                    AccessPattern::Coalesced => h.u64(0),
+                    AccessPattern::Strided(s) => {
+                        h.u64(1);
+                        h.u64(*s as u64);
+                    }
+                    AccessPattern::Random => h.u64(2),
+                    AccessPattern::Broadcast => h.u64(3),
+                }
+            }
+            Op::Shared(dir) => {
+                h.u64(15);
+                h.u64(matches!(dir, Dir::Write) as u64);
+            }
+            Op::Sync => h.u64(16),
+            Op::Loop { trip, body } => {
+                h.u64(17);
+                hash_extent(trip, h);
+                hash_ops(body, h);
+            }
+            Op::Guard { fraction, body } => {
+                h.u64(18);
+                h.f64(*fraction);
+                hash_ops(body, h);
+            }
+        }
     }
 }
 
@@ -678,6 +779,41 @@ mod tests {
         KernelIr::builder("bad")
             .op(Op::load("nope", AccessPattern::Coalesced))
             .build();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structure_sensitive() {
+        assert_eq!(saxpy().fingerprint(), saxpy().fingerprint());
+        // Any structural edit moves the fingerprint.
+        let mut renamed = saxpy();
+        renamed.name = "saxpy2".into();
+        assert_ne!(renamed.fingerprint(), saxpy().fingerprint());
+        let mut guarded = saxpy();
+        guarded.active_fraction = 0.5;
+        assert_ne!(guarded.fingerprint(), saxpy().fingerprint());
+        let extra_op = KernelIr::builder("saxpy")
+            .buffer("x", 4, Extent::Param("n".into()))
+            .buffer("y", 4, Extent::Param("n".into()))
+            .op(Op::load("x", AccessPattern::Coalesced))
+            .op(Op::load("y", AccessPattern::Coalesced))
+            .op(Op::fma(Precision::F32))
+            .op(Op::fma(Precision::F32))
+            .op(Op::store("y", AccessPattern::Coalesced))
+            .build();
+        assert_ne!(extra_op.fingerprint(), saxpy().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_field_boundaries() {
+        // "ab"+"c" vs "a"+"bc" across adjacent string fields must differ
+        // (lengths are folded in).
+        let a = KernelIr::builder("ab")
+            .buffer("c", 4, Extent::Const(1))
+            .build();
+        let b = KernelIr::builder("a")
+            .buffer("bc", 4, Extent::Const(1))
+            .build();
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

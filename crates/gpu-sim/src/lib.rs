@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod ir;
 pub mod launch;
 pub mod memory;
@@ -58,11 +59,13 @@ pub mod timing;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
+    pub use crate::cache::{CacheCounters, SimCaches};
     pub use crate::ir::{AccessPattern, Extent, IntKind, KernelIr, Op, Precision, SpecialFn};
     pub use crate::launch::{Dim3, LaunchConfig};
     pub use crate::profiler::{KernelProfile, Profiler};
 }
 
+pub use cache::{CacheCounters, SimCaches};
 pub use ir::{AccessPattern, Extent, IntKind, KernelIr, Op, Precision, SpecialFn};
 pub use launch::{Dim3, LaunchConfig};
 pub use profiler::{KernelProfile, Profiler};

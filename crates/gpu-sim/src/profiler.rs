@@ -1,16 +1,28 @@
 //! The nvprof-like profiler front end.
 //!
-//! [`Profiler::profile`] runs the whole pipeline for one launch — fold the
-//! IR, resolve the memory system, estimate timing — and packages the result
-//! as a [`KernelProfile`] exposing exactly the counters the paper's
-//! ground-truth labeling consumes, plus a human-readable report.
+//! [`Profiler::profile`] runs the whole pipeline for one launch in two
+//! phases — a hardware-*independent* summary phase ([`Profiler::summary`]:
+//! fold the IR against the launch parameters) and a hardware-*dependent*
+//! resolve phase ([`Profiler::resolve`]: memory system + timing) — and
+//! packages the result as a [`KernelProfile`] exposing exactly the
+//! counters the paper's ground-truth labeling consumes, plus a
+//! human-readable report.
+//!
+//! Attach a [`SimCaches`] bundle with [`Profiler::with_caches`] to memoize
+//! both phases: summaries are shared across every hardware spec that folds
+//! the same (IR, params) pair, and whole profiles are shared across
+//! repeated suite runs. Cached and uncached profiling are bit-identical —
+//! both phases are pure functions of their inputs.
+
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pce_roofline::{HardwareSpec, KernelObservation, OpCounts};
 
-use crate::ir::KernelIr;
+use crate::cache::SimCaches;
+use crate::ir::{BodySummary, KernelIr};
 use crate::launch::LaunchConfig;
 use crate::memory::{resolve_memory, BufferTraffic, MemoryResolution};
 use crate::timing::{estimate_runtime, TimingBreakdown};
@@ -82,13 +94,16 @@ impl KernelProfile {
     }
 }
 
-/// The profiler: owns the hardware model.
+/// The profiler: owns the hardware model and, optionally, a shared cache
+/// bundle.
 #[derive(Debug, Clone)]
 pub struct Profiler {
     hw: HardwareSpec,
     /// When false, the L2 model is bypassed and requested bytes hit DRAM
     /// directly — the "no cache" ablation from DESIGN.md.
     cache_enabled: bool,
+    /// Memoization layer; `None` profiles from scratch on every call.
+    caches: Option<SimCaches>,
 }
 
 impl Profiler {
@@ -97,6 +112,7 @@ impl Profiler {
         Profiler {
             hw,
             cache_enabled: true,
+            caches: None,
         }
     }
 
@@ -106,14 +122,37 @@ impl Profiler {
         self
     }
 
+    /// Attach a shared memoization bundle (builder style). Clones of one
+    /// [`SimCaches`] share storage, so profilers for different hardware
+    /// specs reuse each other's body summaries.
+    pub fn with_caches(mut self, caches: SimCaches) -> Self {
+        self.caches = Some(caches);
+        self
+    }
+
     /// The hardware model in use.
     pub fn hardware(&self) -> &HardwareSpec {
         &self.hw
     }
 
-    /// Profile one kernel launch.
-    pub fn profile(&self, kernel: &KernelIr, launch: &LaunchConfig) -> KernelProfile {
-        let summary = kernel.summarize(&launch.params);
+    /// Phase 1 (hardware-independent): fold the kernel body against the
+    /// launch parameters. Served from the shared summary cache when one is
+    /// attached.
+    pub fn summary(&self, kernel: &KernelIr, launch: &LaunchConfig) -> Arc<BodySummary> {
+        match &self.caches {
+            Some(c) => c.summaries().summary(kernel, &launch.params),
+            None => Arc::new(kernel.summarize(&launch.params)),
+        }
+    }
+
+    /// Phase 2 (hardware-dependent): resolve the memory system and timing
+    /// model for a pre-folded summary and package the profile.
+    pub fn resolve(
+        &self,
+        kernel: &KernelIr,
+        launch: &LaunchConfig,
+        summary: &BodySummary,
+    ) -> KernelProfile {
         let mem = if self.cache_enabled {
             resolve_memory(&self.hw, kernel, launch, &summary.demands)
         } else {
@@ -142,9 +181,49 @@ impl Profiler {
         }
     }
 
+    /// Profile one kernel launch (summary phase, then resolve phase).
+    pub fn profile(&self, kernel: &KernelIr, launch: &LaunchConfig) -> KernelProfile {
+        match &self.caches {
+            None => {
+                let summary = kernel.summarize(&launch.params);
+                self.resolve(kernel, launch, &summary)
+            }
+            Some(_) => (*self.profile_shared(kernel, launch)).clone(),
+        }
+    }
+
+    /// Profile one kernel launch, sharing the result allocation through
+    /// the attached profile memo (or a fresh `Arc` when uncached). The
+    /// preferred entry point for bulk pipelines that only read the profile.
+    pub fn profile_shared(&self, kernel: &KernelIr, launch: &LaunchConfig) -> Arc<KernelProfile> {
+        match &self.caches {
+            None => {
+                let summary = kernel.summarize(&launch.params);
+                Arc::new(self.resolve(kernel, launch, &summary))
+            }
+            Some(c) => c
+                .profiles()
+                .profile(kernel, launch, &self.hw, self.cache_enabled, || {
+                    let summary = self.summary(kernel, launch);
+                    self.resolve(kernel, launch, &summary)
+                }),
+        }
+    }
+
     /// Profile a batch of launches in parallel (rayon).
-    pub fn profile_batch(&self, jobs: &[(KernelIr, LaunchConfig)]) -> Vec<KernelProfile> {
-        jobs.par_iter().map(|(k, lc)| self.profile(k, lc)).collect()
+    ///
+    /// Takes the jobs by reference so call sites iterate owned or borrowed
+    /// storage without cloning kernel IR: pass
+    /// `jobs.iter().map(|(k, lc)| (k, lc))` for a `Vec<(KernelIr,
+    /// LaunchConfig)>`, or zip two slices.
+    pub fn profile_batch<'a>(
+        &self,
+        jobs: impl IntoIterator<Item = (&'a KernelIr, &'a LaunchConfig)>,
+    ) -> Vec<KernelProfile> {
+        let jobs: Vec<(&KernelIr, &LaunchConfig)> = jobs.into_iter().collect();
+        jobs.par_iter()
+            .map(|&(k, lc)| self.profile(k, lc))
+            .collect()
     }
 }
 
@@ -216,10 +295,66 @@ mod tests {
     fn batch_matches_sequential() {
         let jobs: Vec<_> = (18..24).map(|s| saxpy(1 << s)).collect();
         let prof = Profiler::new(HardwareSpec::rtx_3080());
-        let batch = prof.profile_batch(&jobs);
+        // The batch API borrows: no IR clone at the call site.
+        let batch = prof.profile_batch(jobs.iter().map(|(k, lc)| (k, lc)));
         for (job, p) in jobs.iter().zip(&batch) {
             assert_eq!(*p, prof.profile(&job.0, &job.1));
         }
+    }
+
+    #[test]
+    fn phase_split_matches_fused_profile() {
+        let (k, lc) = saxpy(1 << 20);
+        let prof = Profiler::new(HardwareSpec::rtx_3080());
+        let summary = prof.summary(&k, &lc);
+        assert_eq!(*summary, k.summarize(&lc.params));
+        assert_eq!(prof.resolve(&k, &lc, &summary), prof.profile(&k, &lc));
+    }
+
+    #[test]
+    fn cached_profiling_is_bit_identical_and_shares_summaries() {
+        let caches = SimCaches::new();
+        let jobs: Vec<_> = (18..22).map(|s| saxpy(1 << s)).collect();
+        // Two "specs" fold the same IR: the second must hit the summary
+        // cache for every job.
+        let specs = [HardwareSpec::rtx_3080(), HardwareSpec::a100()];
+        for hw in &specs {
+            let cold = Profiler::new(hw.clone());
+            let warm = Profiler::new(hw.clone()).with_caches(caches.clone());
+            for (k, lc) in &jobs {
+                assert_eq!(warm.profile(k, lc), cold.profile(k, lc), "{}", hw.name);
+            }
+        }
+        let sc = caches.summaries().counters();
+        assert_eq!(sc.misses, jobs.len() as u64);
+        assert_eq!(sc.hits, jobs.len() as u64, "second spec re-folded IR");
+        // Re-running an identical launch hits the profile memo.
+        let warm = Profiler::new(HardwareSpec::rtx_3080()).with_caches(caches.clone());
+        let a = warm.profile_shared(&jobs[0].0, &jobs[0].1);
+        let b = warm.profile_shared(&jobs[0].0, &jobs[0].1);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(caches.profiles().counters().hits >= 1);
+    }
+
+    #[test]
+    fn l2_ablation_entries_do_not_collide_in_the_profile_memo() {
+        let caches = SimCaches::new();
+        let n = 4096u64;
+        let k = KernelIr::builder("reuse")
+            .buffer("t", 4, Extent::Param("n".into()))
+            .op(Op::loop_n(
+                Extent::Const(64),
+                vec![Op::load("t", AccessPattern::Coalesced)],
+            ))
+            .build();
+        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let hw = HardwareSpec::rtx_3080();
+        let cached = Profiler::new(hw.clone()).with_caches(caches.clone());
+        let ablated = Profiler::new(hw).without_cache().with_caches(caches);
+        assert!(
+            ablated.profile(&k, &lc).counts.dram_read_bytes
+                > cached.profile(&k, &lc).counts.dram_read_bytes
+        );
     }
 
     #[test]

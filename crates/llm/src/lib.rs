@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod cache;
 pub mod engine;
 pub mod finetune;
 pub mod parse;
 pub mod zoo;
 
 pub use api::{ChatRequest, ChatResponse, SamplingParams, Usage, UsageMeter};
+pub use cache::{CacheCounters, LlmCaches};
 pub use engine::SurrogateEngine;
 pub use finetune::{FineTuneConfig, FineTuneJob, FineTunedModel};
 pub use zoo::{model_zoo, Capability, ModelSpec};

@@ -56,7 +56,17 @@ pub struct ModelSpec {
 }
 
 /// The nine Table-1 models, in the paper's row order.
-pub fn model_zoo() -> Vec<ModelSpec> {
+///
+/// Built once and memoized: the engine resolves a model on every
+/// completion, and a suite issues hundreds of thousands of completions —
+/// re-allocating nine spec structs per request was measurable against the
+/// cached hot path.
+pub fn model_zoo() -> &'static [ModelSpec] {
+    static ZOO: std::sync::OnceLock<Vec<ModelSpec>> = std::sync::OnceLock::new();
+    ZOO.get_or_init(build_model_zoo)
+}
+
+fn build_model_zoo() -> Vec<ModelSpec> {
     let reasoning = |name: &str, input: f64, output: f64, insight: f64, tokens: u64| ModelSpec {
         name: name.into(),
         reasoning: true,
@@ -126,8 +136,8 @@ pub fn model_zoo() -> Vec<ModelSpec> {
 }
 
 /// Look up a model by exact name.
-pub fn model(name: &str) -> Option<ModelSpec> {
-    model_zoo().into_iter().find(|m| m.name == name)
+pub fn model(name: &str) -> Option<&'static ModelSpec> {
+    model_zoo().iter().find(|m| m.name == name)
 }
 
 #[cfg(test)]
@@ -163,7 +173,7 @@ mod tests {
 
     #[test]
     fn reasoning_models_never_slip_and_anticipate_reuse() {
-        for m in model_zoo().into_iter().filter(|m| m.reasoning) {
+        for m in model_zoo().iter().filter(|m| m.reasoning) {
             assert_eq!(m.caps.arith_slip, 0.0, "{}", m.name);
             assert!(m.caps.reuse_aware > 0.0, "{}", m.name);
             assert!(m.reasoning_tokens > 0, "{}", m.name);

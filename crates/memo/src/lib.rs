@@ -1,0 +1,298 @@
+//! # pce-memo
+//!
+//! The memoization primitives shared by the suite-scale caches in
+//! `pce-gpu-sim` (body summaries, kernel profiles) and `pce-llm` (static
+//! analyses, prompt parses):
+//!
+//! * [`Fnv`] — a word-granular FNV-1a accumulator for structural
+//!   fingerprints (f64s enter via `to_bits`, strings are length-prefixed
+//!   so adjacent fields cannot alias),
+//! * [`Memo`] — a sharded, fingerprint-bucketed memo table whose buckets
+//!   hold the *full* keys: entries are verified with `PartialEq` before
+//!   reuse, so a fingerprint collision degrades to a bucket scan — never
+//!   to a wrong value. That property is what lets the caches guarantee
+//!   bit-identical warm and cold runs,
+//! * [`CacheCounters`] — hit/miss counters every cache exposes to the
+//!   bench harness's effectiveness report.
+//!
+//! All cached functions in this workspace are pure, so the only
+//! observable difference between a hit and a miss is time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Number of lock shards per memo table. Small power of two: enough to
+/// keep a rayon team from serializing on one lock, cheap enough to scan
+/// when reporting counters.
+const SHARDS: usize = 16;
+
+/// Hit/miss counters for one cache, as reported by the bench harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populated the cache).
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Total lookups.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit fraction in `[0, 1]` (0 for an unused cache).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A tiny word-granular FNV-1a accumulator: the fingerprint primitive
+/// behind every cache key (and the kernel IR's structural fingerprint).
+/// Word-at-a-time folding keeps hashing cheap relative to the work being
+/// memoized.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv::new()
+    }
+}
+
+impl Fnv {
+    /// A fresh accumulator at the FNV-1a offset basis.
+    #[inline]
+    pub fn new() -> Fnv {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    /// Resume from a previously [`finish`](Fnv::finish)ed state — used to
+    /// derive sub-keys (e.g. tagging one prompt fingerprint for several
+    /// caches) without re-hashing the underlying bytes.
+    #[inline]
+    pub fn resume(state: u64) -> Fnv {
+        Fnv(state)
+    }
+
+    /// Fold one 64-bit word.
+    #[inline]
+    pub fn u64(&mut self, v: u64) {
+        self.0 ^= v;
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+
+    /// Fold one float (by bit pattern).
+    #[inline]
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Fold a name → value map (length-prefixed, entries in map order) —
+    /// the shape of launch-parameter and CLI-binding cache keys.
+    pub fn map_u64(&mut self, map: &std::collections::BTreeMap<String, u64>) {
+        self.u64(map.len() as u64);
+        for (name, value) in map {
+            self.str(name);
+            self.u64(*value);
+        }
+    }
+
+    /// Fold a string 8 bytes at a time (length included, so `"ab" + "c"`
+    /// and `"a" + "bc"` cannot collide across adjacent fields).
+    #[inline]
+    pub fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.u64(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = [0u8; 8];
+        let rest = chunks.remainder();
+        tail[..rest.len()].copy_from_slice(rest);
+        self.u64(u64::from_le_bytes(tail));
+    }
+
+    /// The accumulated fingerprint.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One fingerprint bucket: full keys plus their shared values. Collisions
+/// degrade to a scan over the bucket, never to a wrong answer.
+type Bucket<K, V> = Vec<(K, Arc<V>)>;
+
+/// A sharded fingerprint-bucketed memo table.
+///
+/// Keys are bucketed by a caller-supplied 64-bit fingerprint; each bucket
+/// holds the full keys (verified with `PartialEq`) so collisions degrade
+/// to a scan, never to a wrong answer.
+#[derive(Debug)]
+pub struct Memo<K, V> {
+    shards: Vec<RwLock<HashMap<u64, Bucket<K, V>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: PartialEq, V> Default for Memo<K, V> {
+    fn default() -> Self {
+        Memo {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: PartialEq, V> Memo<K, V> {
+    /// A fresh, empty table.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Look up by fingerprint + exact key match, computing and inserting
+    /// on a miss. `compute` must be pure: under concurrent misses both
+    /// threads may compute, and whichever inserts first wins — identical
+    /// values make the race unobservable.
+    pub fn get_or_insert_with(
+        &self,
+        fp: u64,
+        matches: impl Fn(&K) -> bool,
+        make_key: impl FnOnce() -> K,
+        compute: impl FnOnce() -> V,
+    ) -> Arc<V> {
+        let shard = &self.shards[(fp >> 60) as usize % SHARDS];
+        if let Some(bucket) = shard.read().get(&fp) {
+            if let Some((_, v)) = bucket.iter().find(|(k, _)| matches(k)) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return v.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = Arc::new(compute());
+        let key = make_key();
+        let mut guard = shard.write();
+        let bucket = guard.entry(fp).or_default();
+        // Another worker may have inserted while we computed; reuse its
+        // entry so every caller shares one allocation.
+        if let Some((_, v)) = bucket.iter().find(|(k, _)| matches(k)) {
+            return v.clone();
+        }
+        bucket.push((key, value.clone()));
+        value
+    }
+
+    /// Hit/miss counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct entries held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_length_prefixed() {
+        let fp = |parts: &[&str]| {
+            let mut h = Fnv::new();
+            for p in parts {
+                h.str(p);
+            }
+            h.finish()
+        };
+        assert_eq!(fp(&["abc"]), fp(&["abc"]));
+        assert_ne!(fp(&["abc"]), fp(&["abd"]));
+        // Field boundaries cannot alias.
+        assert_ne!(fp(&["ab", "c"]), fp(&["a", "bc"]));
+        assert_ne!(fp(&["abc", ""]), fp(&["abc"]));
+    }
+
+    #[test]
+    fn fnv_folds_floats_by_bit_pattern() {
+        let fp = |v: f64| {
+            let mut h = Fnv::new();
+            h.f64(v);
+            h.finish()
+        };
+        assert_eq!(fp(1.5), fp(1.5));
+        assert_ne!(fp(0.0), fp(-0.0), "signed zeros are distinct bit patterns");
+    }
+
+    #[test]
+    fn memo_hits_after_first_compute_and_shares_the_allocation() {
+        let memo: Memo<u32, String> = Memo::new();
+        let a = memo.get_or_insert_with(7, |&k| k == 1, || 1, || "one".to_string());
+        let b = memo.get_or_insert_with(7, |&k| k == 1, || 1, || unreachable!());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(memo.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn colliding_fingerprints_stay_distinct_entries() {
+        let memo: Memo<u32, u32> = Memo::new();
+        // Same fingerprint, different keys: the bucket scan must keep both.
+        let a = memo.get_or_insert_with(42, |&k| k == 1, || 1, || 10);
+        let b = memo.get_or_insert_with(42, |&k| k == 2, || 2, || 20);
+        assert_eq!((*a, *b), (10, 20));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.counters().misses, 2);
+        assert_eq!(*memo.get_or_insert_with(42, |&k| k == 2, || 2, || 99), 20);
+    }
+
+    #[test]
+    fn concurrent_misses_converge_on_one_entry() {
+        let memo: Arc<Memo<u32, u64>> = Arc::new(Memo::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let memo = memo.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(*memo.get_or_insert_with(3, |&k| k == 3, || 3, || 30), 30);
+                    }
+                });
+            }
+        });
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.counters().total(), 400);
+    }
+
+    #[test]
+    fn counters_report_rates() {
+        let c = CacheCounters { hits: 3, misses: 1 };
+        assert_eq!(c.total(), 4);
+        assert!((c.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+    }
+}

@@ -38,12 +38,15 @@ impl BootstrapInterval {
 
 /// Percentile-bootstrap a statistic over a sample of outcomes.
 ///
-/// `statistic` maps a resampled slice of items to a scalar. The RNG stream
-/// is fully determined by `seed`.
+/// `statistic` maps a resampled set of items (as references into the
+/// original sample) to a scalar. Resampling shuffles *indices* only — no
+/// item is ever cloned, so bootstrapping owns-a-`String` outcomes costs
+/// the same as bootstrapping `bool`s. The RNG stream is fully determined
+/// by `seed`.
 ///
 /// # Panics
 /// Panics on an empty sample, zero resamples, or a level outside (0, 1).
-pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
+pub fn bootstrap_ci<T, F: Fn(&[&T]) -> f64>(
     items: &[T],
     statistic: F,
     resamples: usize,
@@ -57,15 +60,16 @@ pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
         "confidence level must be in (0,1)"
     );
 
-    let estimate = statistic(items);
+    let full: Vec<&T> = items.iter().collect();
+    let estimate = statistic(&full);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(resamples);
-    let mut scratch = Vec::with_capacity(items.len());
+    let mut scratch: Vec<&T> = Vec::with_capacity(items.len());
     for _ in 0..resamples {
         scratch.clear();
         for _ in 0..items.len() {
             let idx = rng.gen_range(0..items.len());
-            scratch.push(items[idx].clone());
+            scratch.push(&items[idx]);
         }
         stats.push(statistic(&scratch));
     }
@@ -89,8 +93,8 @@ pub fn bootstrap_ci<T: Clone, F: Fn(&[T]) -> f64>(
 mod tests {
     use super::*;
 
-    fn accuracy(items: &[bool]) -> f64 {
-        items.iter().filter(|&&x| x).count() as f64 / items.len() as f64
+    fn accuracy(items: &[&bool]) -> f64 {
+        items.iter().filter(|&&&x| x).count() as f64 / items.len() as f64
     }
 
     #[test]
@@ -143,5 +147,21 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_sample_panics() {
         bootstrap_ci(&[] as &[bool], accuracy, 10, 0.95, 0);
+    }
+
+    #[test]
+    fn unclonable_items_bootstrap_fine() {
+        // T needs no Clone bound: resampling is by reference.
+        struct Outcome(bool);
+        let items: Vec<Outcome> = (0..64).map(|i| Outcome(i % 4 != 0)).collect();
+        let ci = bootstrap_ci(
+            &items,
+            |xs| xs.iter().filter(|o| o.0).count() as f64 / xs.len() as f64,
+            200,
+            0.95,
+            9,
+        );
+        assert!((ci.estimate - 0.75).abs() < 1e-12);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
     }
 }

@@ -1,0 +1,104 @@
+//! Golden cache-correctness tests: every memoization layer added by the
+//! suite-scale caching PR must be *unobservable* in the artifacts.
+//!
+//! Cold caches, a freshly-populated bundle, a fully-warm bundle reused
+//! across runs, the timed runner, and any `RAYON_NUM_THREADS` must all
+//! render byte-identical reports — `total_cost` included, since billing
+//! derives from integer token totals over byte-identical prompts.
+//!
+//! Everything runs inside one `#[test]` so the env-var flip cannot race
+//! a concurrently running test in this binary (same pattern as
+//! `tests/determinism.rs`).
+
+use parallel_code_estimation::core::caches::SuiteCaches;
+use parallel_code_estimation::core::report::{
+    render_flips_csv, render_suite, render_suite_csv, render_table1,
+};
+use parallel_code_estimation::core::study::{Study, StudyData};
+use parallel_code_estimation::core::suite::{
+    run_suite, run_suite_cached, run_suite_timed, Suite, SuiteOutcome,
+};
+use parallel_code_estimation::core::table1::{
+    build_table1, build_table1_from_bank_cached, Rq1Bank,
+};
+use parallel_code_estimation::roofline::HardwareSpec;
+
+fn tiny_suite() -> Suite {
+    let mut suite = Suite::smoke_with_specs(vec![
+        HardwareSpec::rtx_3080(),
+        HardwareSpec::h100_sxm(),
+        HardwareSpec::mi250x(),
+    ]);
+    // Small enough for CI; three specs exercise real label flips.
+    suite.base.corpus.cuda_programs = 90;
+    suite.base.corpus.omp_programs = 72;
+    suite.base.rq1_rooflines = 16;
+    suite.base.pipeline.per_combo_cap = 10;
+    suite
+}
+
+fn render(outcome: &SuiteOutcome) -> String {
+    format!(
+        "{}\n{}\n{}",
+        render_suite(outcome),
+        render_suite_csv(outcome),
+        render_flips_csv(outcome),
+    )
+}
+
+#[test]
+fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
+    let suite = tiny_suite();
+
+    // --- Reference: cold caches (run_suite builds a private fresh bundle).
+    let cold = render(&run_suite(&suite));
+
+    // --- One shared bundle, exercised twice: the first run populates it,
+    // the second is served by the profile memo and analysis caches.
+    let caches = SuiteCaches::new();
+    let warm_first = render(&run_suite_cached(&suite, &caches));
+    let warm_second = render(&run_suite_cached(&suite, &caches));
+    assert_eq!(cold, warm_first, "cold vs freshly-populated bundle");
+    assert_eq!(cold, warm_second, "cold vs fully-warm bundle");
+    let report = caches.report();
+    assert!(report.summary.hits > 0, "{report:?}");
+    assert!(report.profile.hits > 0, "{report:?}");
+    assert!(report.analysis.hits > 0, "{report:?}");
+    assert!(report.classify_parse.hits > 0, "{report:?}");
+
+    // --- The timed runner is instrumentation-only.
+    let (timed, bench) = run_suite_timed(&suite, &SuiteCaches::new());
+    assert_eq!(cold, render(&timed), "timed vs untimed");
+    assert_eq!(bench.specs, suite.specs.len());
+
+    // --- Table 1 (single-spec artifact), cold vs warm, total_cost
+    // included in the rendered bytes.
+    let study = Study::smoke();
+    let data = StudyData::build(&study);
+    let t_cold = render_table1(&build_table1(&study, &data));
+    let t_caches = SuiteCaches::new();
+    let bank = Rq1Bank::build_cached(&study, &t_caches.llm);
+    let t_warm = render_table1(
+        &build_table1_from_bank_cached(&study, &data.dataset.samples, &bank, &t_caches).table,
+    );
+    let t_warm2 = render_table1(
+        &build_table1_from_bank_cached(&study, &data.dataset.samples, &bank, &t_caches).table,
+    );
+    assert_eq!(t_cold, t_warm, "Table 1 cold vs warm");
+    assert_eq!(t_cold, t_warm2, "Table 1 cold vs fully-warm");
+
+    // --- Thread-count invariance, on the already-warm shared bundle and
+    // on a cold one, forced through genuinely different rayon budgets.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    assert_eq!(rayon::current_num_threads(), 4);
+    let warm_parallel = render(&run_suite_cached(&suite, &caches));
+    let cold_parallel = render(&run_suite(&suite));
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    assert_eq!(rayon::current_num_threads(), 1);
+    let warm_serial = render(&run_suite_cached(&suite, &caches));
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    assert_eq!(warm_parallel, warm_serial, "warm: 4 threads vs 1 thread");
+    assert_eq!(cold, warm_parallel, "default vs pinned thread budgets");
+    assert_eq!(cold, cold_parallel, "cold parallel rerun diverged");
+}
