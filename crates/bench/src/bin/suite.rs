@@ -1,11 +1,13 @@
 //! Regenerate the cross-hardware suite: one shared corpus/tokenizer/RQ1
-//! build, a per-spec Table 1 for every hardware preset, and the
-//! label-flip analysis.
+//! build, a per-cell Table 1 for every (GPU, CPU) preset pair, and the
+//! language-split label-flip analysis.
 //!
 //! `--smoke` runs the reduced-scale study; `--specs <name,name,...>`
-//! restricts the hardware matrix (names resolve case/format-insensitively,
-//! e.g. `--specs "a100,rtx-4090,MI250X"`). Default is paper scale across
-//! the full preset catalog.
+//! restricts the GPU axis and `--cpu-specs <name,name,...>` the CPU axis
+//! (names resolve case/format-insensitively, e.g. `--specs
+//! "a100,rtx-4090" --cpu-specs "epyc-9654,grace"`; a preset of the wrong
+//! class for its axis is rejected by name). Default is paper scale across
+//! the full preset catalog: every GPU preset × every CPU preset.
 //!
 //! `--timings [path]` additionally instruments the run: per-stage
 //! wall-clock and cache-hit counters are printed and written as JSON
@@ -13,24 +15,30 @@
 //! against. The rendered reports are byte-identical with or without the
 //! flag.
 
-use pce_bench::{parse_specs, study_from_args, timings_path_from_args};
+use pce_bench::{parse_specs_of, study_from_args, timings_path_from_args};
 use pce_core::caches::SuiteCaches;
 use pce_core::report::{render_flips_csv, render_suite, render_suite_csv};
 use pce_core::suite::{run_suite, run_suite_timed, Suite};
-use pce_roofline::HardwareSpec;
+use pce_roofline::{HardwareSpec, SpecClass};
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let specs = match args.iter().position(|a| a == "--specs") {
-        None => HardwareSpec::presets(),
+/// Resolve one axis flag (`--specs` / `--cpu-specs`) to a preset list, or
+/// exit with the grouped catalog on any error.
+fn axis_from_args(
+    args: &[String],
+    flag: &str,
+    class: SpecClass,
+    default: Vec<HardwareSpec>,
+) -> Vec<HardwareSpec> {
+    match args.iter().position(|a| a == flag) {
+        None => default,
         Some(i) => {
             let list = args.get(i + 1).map(String::as_str).unwrap_or("");
-            match parse_specs(list) {
+            match parse_specs_of(list, class) {
                 Ok(specs) if !specs.is_empty() => specs,
                 Ok(_) => {
                     eprintln!(
-                        "--specs needs a comma-separated list of preset names; known presets:\n  {}",
-                        HardwareSpec::preset_names().join("\n  ")
+                        "{flag} needs a comma-separated list of {class} preset names; known presets:\n{}",
+                        HardwareSpec::catalog_listing()
                     );
                     std::process::exit(2);
                 }
@@ -40,10 +48,27 @@ fn main() {
                 }
             }
         }
-    };
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let specs = axis_from_args(
+        &args,
+        "--specs",
+        SpecClass::Gpu,
+        HardwareSpec::gpu_presets(),
+    );
+    let cpu_specs = axis_from_args(
+        &args,
+        "--cpu-specs",
+        SpecClass::Cpu,
+        HardwareSpec::cpu_presets(),
+    );
     let suite = Suite {
         base: study_from_args(),
         specs,
+        cpu_specs,
     };
 
     let timings = timings_path_from_args(&args);

@@ -20,7 +20,7 @@
 //! `--specs <name,name,...>` to pick the hardware matrix rows.
 
 use pce_core::study::Study;
-use pce_roofline::HardwareSpec;
+use pce_roofline::{HardwareSpec, SpecClass};
 
 /// Parse the common CLI convention: `--smoke` selects the reduced study.
 pub fn study_from_args() -> Study {
@@ -52,22 +52,38 @@ pub fn timings_path_from_args(args: &[String]) -> Option<String> {
     )
 }
 
-/// Parse a comma-separated `--specs` list into hardware presets.
+/// Parse a comma-separated spec list into hardware presets of any class.
 ///
 /// Names resolve case- and format-insensitively (`"a100"`, `"RTX 3080"`,
-/// `"rtx-4090"`); an unknown name produces an error message listing every
-/// known preset, so CLI users never have to guess.
+/// `"epyc-9654"`); an unknown or ambiguous name produces an error message
+/// listing every known preset grouped by [`SpecClass`], so CLI users
+/// never have to guess.
 pub fn parse_specs(list: &str) -> Result<Vec<HardwareSpec>, String> {
     list.split(',')
         .map(str::trim)
         .filter(|s| !s.is_empty())
-        .map(|name| {
-            HardwareSpec::preset_by_name(name).ok_or_else(|| {
-                format!(
-                    "unknown hardware spec '{name}'; known presets:\n  {}",
-                    HardwareSpec::preset_names().join("\n  ")
-                )
-            })
+        .map(|name| HardwareSpec::preset_by_name(name).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// [`parse_specs`] restricted to one machine class: the `suite` bin's
+/// `--specs` axis takes GPU presets, `--cpu-specs` takes CPU presets, and
+/// a preset of the other class is rejected by name rather than silently
+/// mislabeling half the corpus.
+pub fn parse_specs_of(list: &str, class: SpecClass) -> Result<Vec<HardwareSpec>, String> {
+    parse_specs(list)?
+        .into_iter()
+        .map(|hw| {
+            if hw.class == class {
+                Ok(hw)
+            } else {
+                Err(format!(
+                    "'{}' is a {} preset, but this axis takes {class} specs; known presets:\n{}",
+                    hw.name,
+                    hw.class,
+                    HardwareSpec::catalog_listing()
+                ))
+            }
         })
         .collect()
 }
@@ -117,5 +133,23 @@ mod tests {
         for name in HardwareSpec::preset_names() {
             assert!(err.contains(&name), "error must list {name}");
         }
+        // Grouped by class, and ambiguity is an error too.
+        assert!(err.contains("GPU presets:") && err.contains("CPU presets:"));
+        let err = parse_specs("nvidia").unwrap_err();
+        assert!(err.contains("ambiguous"), "{err}");
+    }
+
+    #[test]
+    fn class_restricted_parsing_rejects_the_other_axis() {
+        let gpus = parse_specs_of("a100,rtx-4090", SpecClass::Gpu).unwrap();
+        assert!(gpus.iter().all(|hw| hw.class == SpecClass::Gpu));
+        let cpus = parse_specs_of("epyc-9654,grace", SpecClass::Cpu).unwrap();
+        assert!(cpus.iter().all(|hw| hw.class == SpecClass::Cpu));
+
+        let err = parse_specs_of("a100,epyc-9654", SpecClass::Gpu).unwrap_err();
+        assert!(err.contains("'AMD EPYC 9654' is a CPU preset"), "{err}");
+        assert!(err.contains("GPU presets:"), "{err}");
+        let err = parse_specs_of("a100", SpecClass::Cpu).unwrap_err();
+        assert!(err.contains("GPU preset"), "{err}");
     }
 }

@@ -30,11 +30,15 @@ pub struct ClassificationOutcome {
 }
 
 /// Build the Fig.-4 prompt for one sample.
+///
+/// The hardware block renders the spec of the sample's own machine class
+/// — CUDA prompts carry the study's GPU roofline numbers, OMP prompts the
+/// CPU's — matching the roofline its ground-truth label was drawn under.
 pub fn prompt_for_sample(study: &Study, sample: &Sample, style: ShotStyle) -> String {
     let req = ClassifyRequest {
         language: sample.language.label().to_string(),
         kernel_name: sample.kernel_name.clone(),
-        hardware: study.hardware.clone(),
+        hardware: study.specs.for_class(sample.language.spec_class()).clone(),
         geometry: sample.geometry.clone(),
         args: sample.args.clone(),
         source: sample.source.clone(),
@@ -45,9 +49,10 @@ pub fn prompt_for_sample(study: &Study, sample: &Sample, style: ShotStyle) -> St
 /// Render the Fig.-4 prompt for every sample (parallel), aligned with the
 /// sample order.
 ///
-/// Prompts depend on (sample, shot-style, study hardware) but never on
-/// the model, so one rendered set serves the whole zoo — the Table-1
-/// assembly renders here once and fans the result out over nine models.
+/// Prompts depend on (sample, shot-style, the study's language-routed
+/// spec) but never on the model, so one rendered set serves the whole zoo
+/// — the Table-1 assembly renders here once and fans the result out over
+/// nine models.
 pub fn render_prompts(study: &Study, samples: &[Sample], style: ShotStyle) -> Vec<String> {
     samples
         .par_iter()

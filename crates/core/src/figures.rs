@@ -28,13 +28,19 @@ pub struct Fig1 {
 
 /// Profile the full corpus and build the Figure-1 roofline scatter.
 ///
+/// Figure 1 is the *paper's* single-device view: every program (CUDA and
+/// OMP alike) is profiled against the study's GPU spec and plotted on its
+/// rooflines, reproducing the published figure verbatim. The
+/// language-routed ground truth lives in the dataset pipeline and the
+/// cross-hardware suite, not here.
+///
 /// `cache_enabled = false` reproduces the DESIGN.md ablation (static-like
 /// traffic), collapsing the empirical-vs-static AI gap.
 pub fn build_fig1(study: &Study, corpus: &[Program], cache_enabled: bool) -> Fig1 {
     let profiler = if cache_enabled {
-        Profiler::new(study.hardware.clone())
+        Profiler::new(study.specs.gpu.clone())
     } else {
-        Profiler::new(study.hardware.clone()).without_cache()
+        Profiler::new(study.specs.gpu.clone()).without_cache()
     };
     let observations: Vec<(String, KernelObservation)> = corpus
         .par_iter()
@@ -43,7 +49,7 @@ pub fn build_fig1(study: &Study, corpus: &[Program], cache_enabled: bool) -> Fig
             (p.id.clone(), profile.observation())
         })
         .collect();
-    let plot = build_plot(&study.hardware, &observations, 96);
+    let plot = build_plot(&study.specs.gpu, &observations, 96);
     Fig1 {
         sp_bb_fraction: plot.bandwidth_bound_fraction(OpClass::Sp),
         int_bb_fraction: plot.bandwidth_bound_fraction(OpClass::Int),

@@ -46,21 +46,41 @@ pub fn render_table1(table: &Table1) -> String {
     out
 }
 
-/// Render the cross-hardware suite as markdown: a hardware summary, the
-/// label-flip analysis, and one Table-1 section per spec.
+/// Render the cross-hardware suite as markdown: the hardware catalog, a
+/// per-cell summary, the language-split label-flip analysis, and one
+/// Table-1 section per (GPU, CPU) cell.
 pub fn render_suite(outcome: &SuiteOutcome) -> String {
     let mut out = String::with_capacity(8192);
     let _ = writeln!(
         out,
-        "# Cross-hardware suite — {} specs × {} models\n",
+        "# Cross-hardware suite — {} cells × {} models\n",
         outcome.specs.len(),
         outcome.specs.first().map_or(0, |s| s.table.rows.len()),
     );
 
+    // Distinct specs on either axis, with their class and ridge points.
+    out.push_str("| Hardware | Class | SP ridge | DP ridge | INT ridge |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    let mut seen = std::collections::BTreeSet::new();
+    for s in &outcome.specs {
+        for hw in [&s.spec, &s.cpu_spec] {
+            if seen.insert(hw.name.clone()) {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {:.2} | {:.2} | {:.2} |",
+                    hw.name,
+                    hw.class,
+                    hw.ridge_point(OpClass::Sp),
+                    hw.ridge_point(OpClass::Dp),
+                    hw.ridge_point(OpClass::Int),
+                );
+            }
+        }
+    }
+
     out.push_str(
-        "| Hardware | SP ridge | DP ridge | INT ridge | Dataset | Best RQ2 model | Best RQ2 acc. | Spend |\n",
+        "\n| GPU | CPU | Dataset | Best RQ2 model | Best RQ2 acc. | Spend |\n|---|---|---|---|---|---|\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|\n");
     for s in &outcome.specs {
         // Deterministic argmax: strictly-greater keeps the first (highest
         // RQ1-sorted) row on ties.
@@ -75,11 +95,9 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
             .expect("table has rows");
         let _ = writeln!(
             out,
-            "| {} | {:.2} | {:.2} | {:.2} | {} | {} | {:.2} | ${:.2} |",
+            "| {} | {} | {} | {} | {:.2} | ${:.2} |",
             s.spec.name,
-            s.spec.ridge_point(OpClass::Sp),
-            s.spec.ridge_point(OpClass::Dp),
-            s.spec.ridge_point(OpClass::Int),
+            s.cpu_spec.name,
             s.funnel.final_size,
             best.model,
             best.rq2.accuracy,
@@ -89,11 +107,11 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
 
     let flips = &outcome.flips;
     out.push_str("\n## Label-flip analysis\n\n");
-    let total = flips.kernels.len();
+    let total = flips.total_kernels();
     let _ = writeln!(
         out,
         "{} of {} corpus kernels ({:.1}%) change ground-truth boundedness \
-         somewhere in the matrix.\n",
+         along their language's hardware axis.",
         flips.flipping,
         total,
         if total == 0 {
@@ -102,40 +120,56 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
             100.0 * flips.flipping as f64 / total as f64
         },
     );
-    if let Some(reference) = flips.spec_names.first() {
-        let _ = writeln!(out, "Labels flipped vs the reference ({reference}):\n");
-        for (name, n) in flips.spec_names.iter().zip(&flips.flips_vs_reference) {
-            let _ = writeln!(out, "- {name}: {n}");
+    for section in &flips.by_language {
+        let _ = writeln!(
+            out,
+            "\n### {} kernels × {} specs\n",
+            section.language, section.axis_class
+        );
+        let _ = writeln!(
+            out,
+            "{} of {} {} kernels flip across the {} axis.\n",
+            section.flipping,
+            section.kernels.len(),
+            section.language,
+            section.axis_class,
+        );
+        if let Some(reference) = section.spec_names.first() {
+            let _ = writeln!(out, "Labels flipped vs the reference ({reference}):\n");
+            for (name, n) in section.spec_names.iter().zip(&section.flips_vs_reference) {
+                let _ = writeln!(out, "- {name}: {n}");
+            }
+            out.push('\n');
         }
-        out.push('\n');
+        let _ = writeln!(
+            out,
+            "Pooled zero-shot accuracy — flipping kernels: {}, stable kernels: {}.",
+            fmt_opt(section.accuracy_on_flipping),
+            fmt_opt(section.accuracy_on_stable),
+        );
     }
-    let _ = writeln!(
-        out,
-        "Pooled zero-shot accuracy — flipping kernels: {}, stable kernels: {}.",
-        fmt_opt(flips.accuracy_on_flipping),
-        fmt_opt(flips.accuracy_on_stable),
-    );
 
     for s in &outcome.specs {
-        let _ = writeln!(out, "\n## Table 1 — {}\n", s.spec.name);
+        let _ = writeln!(out, "\n## Table 1 — {}\n", s.pair_label());
         out.push_str(&render_table1(&s.table));
     }
     out
 }
 
-/// Render the suite's (hardware × model) metric cells as CSV.
+/// Render the suite's ((GPU, CPU) × model) metric cells as CSV.
 pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str(
-        "hardware,model,reasoning,rq1_acc,rq1_cot_acc,rq2_acc,rq2_f1,rq2_mcc,rq3_acc,rq3_f1,rq3_mcc\n",
+        "hardware,cpu_hardware,model,reasoning,rq1_acc,rq1_cot_acc,rq2_acc,rq2_f1,rq2_mcc,rq3_acc,rq3_f1,rq3_mcc\n",
     );
     let csv_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.2}"));
     for s in &outcome.specs {
         for r in &s.table.rows {
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
+                "{},{},{},{},{},{},{:.2},{:.2},{:.2},{:.2},{:.2},{:.2}",
                 s.spec.name,
+                s.cpu_spec.name,
                 r.model,
                 r.reasoning,
                 csv_opt(r.rq1_acc),
@@ -152,22 +186,30 @@ pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
     out
 }
 
-/// Render the per-kernel label matrix as CSV: one column per spec plus a
-/// `flips` marker.
+/// Render the per-kernel label matrix as CSV: one section per language
+/// (`# language=CUDA axis=GPU`, `# language=OMP axis=CPU`), each with one
+/// column per spec of that language's axis plus a `flips` marker.
 pub fn render_flips_csv(outcome: &SuiteOutcome) -> String {
     let flips = &outcome.flips;
-    let mut out = String::with_capacity(64 * (flips.kernels.len() + 1));
-    out.push_str("kernel,family");
-    for name in &flips.spec_names {
-        let _ = write!(out, ",{name}");
-    }
-    out.push_str(",flips\n");
-    for k in &flips.kernels {
-        let _ = write!(out, "{},{}", k.id, k.family);
-        for label in &k.labels {
-            let _ = write!(out, ",{}", label.short());
+    let mut out = String::with_capacity(64 * (flips.total_kernels() + 2));
+    for section in &flips.by_language {
+        let _ = writeln!(
+            out,
+            "# language={} axis={}",
+            section.language, section.axis_class
+        );
+        out.push_str("kernel,family,language");
+        for name in &section.spec_names {
+            let _ = write!(out, ",{name}");
         }
-        let _ = writeln!(out, ",{}", k.flips());
+        out.push_str(",flips\n");
+        for k in &section.kernels {
+            let _ = write!(out, "{},{},{}", k.id, k.family, section.language);
+            for label in &k.labels {
+                let _ = write!(out, ",{}", label.short());
+            }
+            let _ = writeln!(out, ",{}", k.flips());
+        }
     }
     out
 }
@@ -299,26 +341,34 @@ mod tests {
         let md = render_suite(&outcome);
         for s in &outcome.specs {
             assert!(
-                md.contains(&format!("## Table 1 — {}", s.spec.name)),
-                "missing per-spec table for {}",
-                s.spec.name
+                md.contains(&format!("## Table 1 — {}", s.pair_label())),
+                "missing per-cell table for {}",
+                s.pair_label()
             );
         }
         assert!(md.contains("## Label-flip analysis"));
+        assert!(md.contains("### CUDA kernels × GPU specs"));
+        assert!(md.contains("### OMP kernels × CPU specs"));
         assert!(md.contains("Pooled zero-shot accuracy"));
 
         let csv = render_suite_csv(&outcome);
-        assert!(csv.starts_with("hardware,model,reasoning"));
-        // Header + (specs × 9 models) rows.
+        assert!(csv.starts_with("hardware,cpu_hardware,model,reasoning"));
+        // Header + (cells × 9 models) rows.
         assert_eq!(csv.lines().count(), 1 + outcome.specs.len() * 9);
 
         let flips = render_flips_csv(&outcome);
-        assert!(flips.starts_with("kernel,family"));
-        assert_eq!(flips.lines().count(), 1 + outcome.flips.kernels.len());
-        // Every data row carries one label column per spec.
-        let cols = 3 + outcome.specs.len();
-        for line in flips.lines().skip(1).take(5) {
-            assert_eq!(line.split(',').count(), cols, "{line}");
+        assert!(flips.contains("# language=CUDA axis=GPU"));
+        assert!(flips.contains("# language=OMP axis=CPU"));
+        // Two section markers + two headers + one row per corpus kernel.
+        assert_eq!(flips.lines().count(), 4 + outcome.flips.total_kernels());
+        // Every data row carries one label column per axis spec.
+        for section in &outcome.flips.by_language {
+            let cols = 4 + section.spec_names.len();
+            let header = format!("# language={}", section.language);
+            let at = flips.find(&header).unwrap();
+            for line in flips[at..].lines().skip(2).take(3) {
+                assert_eq!(line.split(',').count(), cols, "{line}");
+            }
         }
     }
 

@@ -4,15 +4,18 @@ use serde::{Deserialize, Serialize};
 
 use pce_dataset::{run_pipeline, Dataset, PipelineConfig, PipelineReport, Split};
 use pce_kernels::{build_corpus, CorpusConfig, Program};
-use pce_roofline::HardwareSpec;
+use pce_roofline::SpecPair;
 
 /// Top-level study configuration. Defaults reproduce the paper's setup:
-/// RTX 3080, 446 CUDA + 303 OMP programs, 8e3-token cutoff, 85-per-cell
-/// balancing, 80/20 split.
+/// RTX 3080 for the CUDA half (paired with the EPYC 9654 CPU preset for
+/// the OMP half), 446 CUDA + 303 OMP programs, 8e3-token cutoff,
+/// 85-per-cell balancing, 80/20 split.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Study {
-    /// Profiling / prompt hardware.
-    pub hardware: HardwareSpec,
+    /// Profiling / prompt hardware, one spec per machine class: CUDA
+    /// samples use `specs.gpu`, OMP samples `specs.cpu` — in the
+    /// pipeline's ground-truth labeling *and* in the rendered prompts.
+    pub specs: SpecPair,
     /// Corpus generation parameters.
     pub corpus: CorpusConfig,
     /// Dataset pipeline parameters.
@@ -25,12 +28,12 @@ pub struct Study {
 
 impl Default for Study {
     fn default() -> Self {
-        let hardware = HardwareSpec::rtx_3080();
+        let specs = SpecPair::paper_default();
         Study {
-            hardware: hardware.clone(),
+            specs: specs.clone(),
             corpus: CorpusConfig::default(),
             pipeline: PipelineConfig {
-                hardware,
+                specs,
                 ..Default::default()
             },
             rq1_rooflines: 240,
@@ -59,14 +62,14 @@ impl Study {
         study
     }
 
-    /// The same study re-targeted at different hardware: both the
+    /// The same study re-targeted at a different spec pair: both the
     /// profiling/labeling hardware and the prompt hardware move together,
     /// everything else (corpus, tokenizer, seeds) stays fixed. This is the
-    /// per-spec derivation the cross-hardware suite uses.
-    pub fn with_hardware(&self, hardware: HardwareSpec) -> Study {
+    /// per-cell derivation the cross-hardware suite uses.
+    pub fn with_specs(&self, specs: SpecPair) -> Study {
         let mut study = self.clone();
-        study.pipeline.hardware = hardware.clone();
-        study.hardware = hardware;
+        study.pipeline.specs = specs.clone();
+        study.specs = specs;
         study
     }
 }

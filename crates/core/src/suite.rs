@@ -1,58 +1,67 @@
-//! The cross-hardware study suite: one shared data build, per-spec
-//! Table-1 evaluations, and the label-flip analysis.
+//! The cross-hardware study suite: one shared data build, per-cell
+//! Table-1 evaluations over a (GPU spec × CPU spec) matrix, and the
+//! language-split label-flip analysis.
 //!
 //! The paper evaluates everything on a single RTX 3080, but its roofline
 //! framing is hardware-parametric: the same kernel flips between compute-
-//! and bandwidth-bound as the peak-FLOPs/bandwidth ratio changes. This
-//! module runs the full experiment matrix — hardware spec × model zoo ×
-//! RQ1/RQ2/RQ3 — across an arbitrary list of [`HardwareSpec`]s:
+//! and bandwidth-bound as the peak-FLOPs/bandwidth ratio changes — and
+//! half the corpus is OpenMP code whose ground truth belongs to a *CPU*
+//! roofline, not a GPU's. This module runs the full experiment matrix —
+//! (GPU spec × CPU spec) × model zoo × RQ1/RQ2/RQ3:
 //!
 //! * the hardware-*independent* work (corpus generation, tokenizer
 //!   training, per-program token counts, the RQ1 random-roofline runs) is
-//!   done **once** in a [`SharedBuild`] and reused by every spec,
+//!   done **once** in a [`SharedBuild`] and reused by every cell,
 //! * the hardware-*dependent* work (profiling, labeling, balancing,
-//!   RQ2/RQ3 classification) runs per spec, with rayon fanning out over
-//!   both the spec list and the model zoo,
-//! * a [`FlipAnalysis`] reports which kernels change ground-truth
-//!   boundedness across specs and how zero-shot model accuracy tracks
-//!   those flips.
+//!   RQ2/RQ3 classification) runs per (GPU, CPU) cell, with each cell's
+//!   pipeline routing CUDA kernels to the GPU spec and OMP kernels to the
+//!   CPU spec; rayon fans out over cells and the model zoo,
+//! * a [`FlipAnalysis`] reports — **per language** — which kernels change
+//!   ground-truth boundedness along their own hardware axis (CUDA across
+//!   GPU specs, OMP across CPU specs) and how zero-shot model accuracy
+//!   tracks those flips.
 //!
 //! Everything is deterministic: results are collected in input order and
 //! costs derive from integer token totals, so the suite renders
 //! byte-identically under any `RAYON_NUM_THREADS`.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::{run_pipeline_cached, tokenize_corpus, PipelineReport, TokenizedCorpus};
-use pce_kernels::{build_corpus, Program};
-use pce_roofline::{Boundedness, HardwareSpec};
+use pce_kernels::{build_corpus, Language, Program};
+use pce_roofline::{Boundedness, HardwareSpec, SpecClass, SpecPair};
 
 use crate::caches::{CacheReport, SuiteCaches};
 use crate::study::Study;
 use crate::table1::{build_table1_from_bank_cached, Rq1Bank, Table1};
 
-/// Cross-hardware suite configuration: one base study re-targeted at a
-/// list of hardware specs.
+/// Cross-hardware suite configuration: one base study re-targeted at
+/// every cell of a (GPU spec × CPU spec) matrix.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Suite {
-    /// The base study (corpus, pipeline, RQ1 scale, seeds). Its hardware
-    /// is replaced per spec via [`Study::with_hardware`].
+    /// The base study (corpus, pipeline, RQ1 scale, seeds). Its spec pair
+    /// is replaced per cell via [`Study::with_specs`].
     pub base: Study,
-    /// The hardware matrix rows. The first spec is the flip-analysis
-    /// reference.
+    /// The GPU axis (labels the CUDA corpus half). The first spec is the
+    /// CUDA flip-analysis reference.
     pub specs: Vec<HardwareSpec>,
+    /// The CPU axis (labels the OMP corpus half). The first spec is the
+    /// OMP flip-analysis reference.
+    pub cpu_specs: Vec<HardwareSpec>,
 }
 
 impl Default for Suite {
-    /// Paper-scale base study across the full preset catalog.
+    /// Paper-scale base study across the full preset catalog: every GPU
+    /// preset crossed with every CPU preset.
     fn default() -> Self {
         Suite {
             base: Study::default(),
-            specs: HardwareSpec::presets(),
+            specs: HardwareSpec::gpu_presets(),
+            cpu_specs: HardwareSpec::cpu_presets(),
         }
     }
 }
@@ -62,24 +71,70 @@ impl Suite {
     pub fn smoke() -> Self {
         Suite {
             base: Study::smoke(),
-            specs: HardwareSpec::presets(),
+            ..Suite::default()
         }
     }
 
-    /// Reduced-scale suite over an explicit spec list (cheap tests).
+    /// Reduced-scale suite over an explicit GPU spec list with the
+    /// paper-default CPU spec (cheap tests that only exercise the GPU
+    /// axis; one cell per GPU spec).
     pub fn smoke_with_specs(specs: Vec<HardwareSpec>) -> Self {
+        Suite::smoke_with_matrix(specs, vec![HardwareSpec::epyc_9654()])
+    }
+
+    /// Reduced-scale suite over an explicit (GPU × CPU) matrix.
+    pub fn smoke_with_matrix(specs: Vec<HardwareSpec>, cpu_specs: Vec<HardwareSpec>) -> Self {
         Suite {
             base: Study::smoke(),
             specs,
+            cpu_specs,
         }
+    }
+
+    /// The matrix cells in evaluation order: GPU-major, i.e. every CPU
+    /// spec for the first GPU spec, then the second GPU spec, ...
+    pub fn cells(&self) -> Vec<SpecPair> {
+        self.specs
+            .iter()
+            .flat_map(|gpu| {
+                self.cpu_specs.iter().map(move |cpu| SpecPair {
+                    gpu: gpu.clone(),
+                    cpu: cpu.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// Validate the matrix: both axes non-empty, correct spec classes.
+    ///
+    /// Returns human-readable problems; empty when the suite is runnable.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.specs.is_empty() {
+            problems.push("suite needs at least one GPU spec".to_string());
+        }
+        if self.cpu_specs.is_empty() {
+            problems.push("suite needs at least one CPU spec".to_string());
+        }
+        for hw in &self.specs {
+            if hw.class != SpecClass::Gpu {
+                problems.push(format!("'{}' on the GPU axis is a {}", hw.name, hw.class));
+            }
+        }
+        for hw in &self.cpu_specs {
+            if hw.class != SpecClass::Cpu {
+                problems.push(format!("'{}' on the CPU axis is a {}", hw.name, hw.class));
+            }
+        }
+        problems
     }
 }
 
 /// The hardware-independent half of the suite build, done once and shared
-/// by every spec: the corpus, its tokenization, and the RQ1 bank.
+/// by every cell: the corpus, its tokenization, and the RQ1 bank.
 #[derive(Debug, Clone)]
 pub struct SharedBuild {
-    /// The generated corpus (shared verbatim by every spec).
+    /// The generated corpus (shared verbatim by every cell).
     pub corpus: Vec<Program>,
     /// One tokenizer training + token count pass over the corpus.
     pub tokenized: TokenizedCorpus,
@@ -129,30 +184,50 @@ impl SharedBuild {
     }
 }
 
-/// Everything the suite produces for one hardware spec.
+/// Everything the suite produces for one (GPU, CPU) matrix cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SpecOutcome {
-    /// The hardware this cell ran on.
+    /// The GPU spec this cell ran on (labels the CUDA half).
     pub spec: HardwareSpec,
-    /// The spec's Table 1 (all models × RQ1/RQ2/RQ3).
+    /// The CPU spec this cell ran on (labels the OMP half).
+    pub cpu_spec: HardwareSpec,
+    /// The cell's Table 1 (all models × RQ1/RQ2/RQ3).
     pub table: Table1,
-    /// The spec's dataset funnel (labels, pruning, balancing).
+    /// The cell's dataset funnel (labels, pruning, balancing).
     pub funnel: PipelineReport,
-    /// Sample ids of the spec's balanced dataset, in dataset order.
+    /// Sample ids of the cell's balanced dataset, in dataset order.
     pub dataset_ids: Vec<String>,
     /// Zero-shot per-sample correctness per model (zoo order), aligned
     /// with `dataset_ids`.
     pub zero_shot_correct: Vec<(String, Vec<bool>)>,
 }
 
-/// Ground-truth labels for one corpus kernel across every spec.
+impl SpecOutcome {
+    /// The cell's spec pair (rebuilt from the two stored specs).
+    pub fn pair(&self) -> SpecPair {
+        SpecPair {
+            gpu: self.spec.clone(),
+            cpu: self.cpu_spec.clone(),
+        }
+    }
+
+    /// `"<gpu name> + <cpu name>"`, for report headings (delegates to
+    /// [`SpecPair::label`] so the format lives in one place).
+    pub fn pair_label(&self) -> String {
+        self.pair().label()
+    }
+}
+
+/// Ground-truth labels for one corpus kernel across its language's
+/// hardware axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelLabels {
     /// Corpus program id.
     pub id: String,
     /// Kernel family.
     pub family: String,
-    /// The kernel's label under each spec, in suite spec order.
+    /// The kernel's label under each spec of its language's axis, in
+    /// suite axis order (GPU specs for CUDA kernels, CPU specs for OMP).
     pub labels: Vec<Boundedness>,
 }
 
@@ -163,37 +238,67 @@ impl KernelLabels {
     }
 }
 
-/// Which kernels change ground-truth boundedness across the hardware
-/// matrix, and how model accuracy tracks those flips.
+/// The flip analysis for one corpus language along its own hardware axis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct FlipAnalysis {
-    /// Spec names, in suite order (index 0 is the reference).
+pub struct LanguageFlips {
+    /// The corpus language this section covers.
+    pub language: Language,
+    /// The machine class of this language's hardware axis.
+    pub axis_class: SpecClass,
+    /// Axis spec names, in suite order (index 0 is the reference).
     pub spec_names: Vec<String>,
-    /// Per-kernel label vectors, in corpus order.
+    /// Per-kernel label vectors, in corpus order, restricted to this
+    /// language's kernels.
     pub kernels: Vec<KernelLabels>,
-    /// Number of kernels whose label differs between at least two specs.
+    /// Number of kernels whose label differs between at least two axis
+    /// specs.
     pub flipping: usize,
-    /// Per spec: kernels labeled differently than under the reference
-    /// (first) spec. Entry 0 is always zero.
+    /// Per axis spec: kernels labeled differently than under the
+    /// reference (first) spec. Entry 0 is always zero.
     pub flips_vs_reference: Vec<usize>,
-    /// Mean zero-shot accuracy (×100, pooled over all models × specs) on
-    /// dataset samples whose kernel flips across specs. `None` when no
-    /// evaluated sample flips.
+    /// Mean zero-shot accuracy (×100, pooled over all models × cells) on
+    /// dataset samples of this language whose kernel flips along the
+    /// axis. `None` when no evaluated sample flips.
     pub accuracy_on_flipping: Option<f64>,
     /// Same, on samples whose kernel keeps one label everywhere.
     pub accuracy_on_stable: Option<f64>,
 }
 
-/// The full suite result: per-spec outcomes plus the flip analysis.
+/// Which kernels change ground-truth boundedness across the hardware
+/// matrix — split by language, since each language sweeps its own axis —
+/// and how model accuracy tracks those flips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlipAnalysis {
+    /// One section per corpus language: CUDA (across the GPU axis) first,
+    /// then OMP (across the CPU axis).
+    pub by_language: Vec<LanguageFlips>,
+    /// Total flipping kernels across both languages.
+    pub flipping: usize,
+}
+
+impl FlipAnalysis {
+    /// The section for one language, if present.
+    pub fn language(&self, language: Language) -> Option<&LanguageFlips> {
+        self.by_language.iter().find(|l| l.language == language)
+    }
+
+    /// Total corpus kernels covered by the analysis.
+    pub fn total_kernels(&self) -> usize {
+        self.by_language.iter().map(|l| l.kernels.len()).sum()
+    }
+}
+
+/// The full suite result: per-cell outcomes plus the flip analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteOutcome {
-    /// One outcome per hardware spec, in suite order.
+    /// One outcome per (GPU, CPU) cell, in [`Suite::cells`] order
+    /// (GPU-major).
     pub specs: Vec<SpecOutcome>,
-    /// The cross-spec label-flip analysis.
+    /// The cross-spec, language-split label-flip analysis.
     pub flips: FlipAnalysis,
 }
 
-/// Run the whole suite: shared build, then every (hardware, model) cell.
+/// Run the whole suite: shared build, then every (GPU, CPU, model) cell.
 pub fn run_suite(suite: &Suite) -> SuiteOutcome {
     run_suite_cached(suite, &SuiteCaches::new())
 }
@@ -210,7 +315,8 @@ pub fn run_suite_cached(suite: &Suite, caches: &SuiteCaches) -> SuiteOutcome {
 /// can assert exactly what is shared).
 ///
 /// # Panics
-/// Panics when `suite.specs` is empty.
+/// Panics when [`Suite::validate`] reports problems (empty axis or a spec
+/// in the wrong class slot).
 pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
     run_suite_shared_cached(suite, shared, &SuiteCaches::new())
 }
@@ -218,28 +324,32 @@ pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
 /// [`run_suite_shared`] against a shared cache bundle.
 ///
 /// # Panics
-/// Panics when `suite.specs` is empty.
+/// Panics when [`Suite::validate`] reports problems.
 pub fn run_suite_shared_cached(
     suite: &Suite,
     shared: &SharedBuild,
     caches: &SuiteCaches,
 ) -> SuiteOutcome {
-    assert!(!suite.specs.is_empty(), "suite needs at least one spec");
+    let problems = suite.validate();
+    assert!(problems.is_empty(), "invalid suite: {problems:?}");
     let specs = run_specs(suite, shared, caches);
-    let flips = analyze_flips(&shared.corpus, &specs);
+    let flips = analyze_flips(suite, &shared.corpus, &specs);
     SuiteOutcome { specs, flips }
 }
 
-/// Evaluate every hardware spec (parallel) against the shared build.
+/// Evaluate every matrix cell (parallel) against the shared build.
 fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<SpecOutcome> {
     suite
-        .specs
+        .cells()
         .par_iter()
-        .map(|hw| {
-            let study = suite.base.with_hardware(hw.clone());
-            // Re-profile and relabel the shared corpus under this spec;
-            // no per-spec corpus clone or tokenizer retrain, and the
-            // cache bundle shares body summaries across the whole matrix.
+        .map(|pair| {
+            let study = suite.base.with_specs(pair.clone());
+            // Re-profile and relabel the shared corpus under this cell's
+            // language-routed spec pair; no per-cell corpus clone or
+            // tokenizer retrain, and the cache bundle shares body
+            // summaries across the whole matrix. Profiles memoize per
+            // (kernel, routed spec), so a GPU row's CUDA half and a CPU
+            // column's OMP half are each profiled once across the matrix.
             let (dataset, _split, funnel) = run_pipeline_cached(
                 &shared.corpus,
                 &shared.tokenized,
@@ -249,7 +359,8 @@ fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<S
             let detail =
                 build_table1_from_bank_cached(&study, &dataset.samples, &shared.rq1, caches);
             SpecOutcome {
-                spec: hw.clone(),
+                spec: pair.gpu.clone(),
+                cpu_spec: pair.cpu.clone(),
                 dataset_ids: dataset.samples.iter().map(|s| s.id.clone()).collect(),
                 zero_shot_correct: detail.zero_shot_correct,
                 table: detail.table,
@@ -274,9 +385,13 @@ pub struct StageTiming {
 /// `suite` bin under `--timings`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteBench {
-    /// Hardware specs evaluated.
+    /// GPU specs on the matrix's GPU axis.
     pub specs: usize,
-    /// Models per spec (the Table-1 zoo).
+    /// CPU specs on the matrix's CPU axis.
+    pub cpu_specs: usize,
+    /// Evaluated (GPU × CPU) cells.
+    pub cells: usize,
+    /// Models per cell (the Table-1 zoo).
     pub models_per_spec: usize,
     /// Per-stage wall-clock, in execution order.
     pub stages: Vec<StageTiming>,
@@ -292,8 +407,8 @@ impl SuiteBench {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "suite bench: {} specs x {} models, total {:.1} ms\n",
-            self.specs, self.models_per_spec, self.total_ms
+            "suite bench: {} GPU x {} CPU specs ({} cells) x {} models, total {:.1} ms\n",
+            self.specs, self.cpu_specs, self.cells, self.models_per_spec, self.total_ms
         ));
         for s in &self.stages {
             out.push_str(&format!("  stage {:<14} {:>10.1} ms\n", s.stage, s.wall_ms));
@@ -325,7 +440,8 @@ impl SuiteBench {
 /// bundle; the accompanying [`SuiteBench`] carries per-stage wall-clock
 /// and the bundle's cache counters.
 pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, SuiteBench) {
-    assert!(!suite.specs.is_empty(), "suite needs at least one spec");
+    let problems = suite.validate();
+    assert!(problems.is_empty(), "invalid suite: {problems:?}");
     let t_total = Instant::now();
     let mut stages = Vec::new();
     let mut stage = |name: &str, t: Instant| {
@@ -344,11 +460,13 @@ pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, Su
     stage("spec-eval", t);
 
     let t = Instant::now();
-    let flips = analyze_flips(&shared.corpus, &specs);
+    let flips = analyze_flips(suite, &shared.corpus, &specs);
     stage("flip-analysis", t);
 
     let bench = SuiteBench {
         specs: suite.specs.len(),
+        cpu_specs: suite.cpu_specs.len(),
+        cells: suite.specs.len() * suite.cpu_specs.len(),
         models_per_spec: pce_llm::model_zoo().len(),
         stages,
         total_ms: t_total.elapsed().as_secs_f64() * 1e3,
@@ -357,56 +475,131 @@ pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, Su
     (SuiteOutcome { specs, flips }, bench)
 }
 
-/// Cross-spec label comparison plus flip-tracking accuracy.
-fn analyze_flips(corpus: &[Program], specs: &[SpecOutcome]) -> FlipAnalysis {
-    let kernels: Vec<KernelLabels> = corpus
-        .iter()
-        .enumerate()
-        .map(|(i, p)| KernelLabels {
-            id: p.id.clone(),
-            family: p.family.clone(),
-            labels: specs.iter().map(|s| s.funnel.corpus_labels[i]).collect(),
-        })
-        .collect();
-    let flipping = kernels.iter().filter(|k| k.flips()).count();
-    let flips_vs_reference = (0..specs.len())
-        .map(|j| {
-            kernels
-                .iter()
-                .filter(|k| k.labels[j] != k.labels[0])
-                .count()
-        })
-        .collect();
+/// Cross-spec label comparison plus flip-tracking accuracy, one section
+/// per language.
+///
+/// A kernel's label depends only on its own language's axis spec, so the
+/// CUDA section reads the cells of the first CPU column (one per GPU
+/// spec) and the OMP section reads the first GPU row — after asserting
+/// the labels really are invariant along the other axis.
+fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[SpecOutcome]) -> FlipAnalysis {
+    let n_cpu = suite.cpu_specs.len();
+    let cell = |gpu_idx: usize, cpu_idx: usize| &cells[gpu_idx * n_cpu + cpu_idx];
 
-    // Pool zero-shot correctness over every (model, spec, sample) cell,
-    // split by whether the sample's kernel flips anywhere in the matrix.
-    let flippy: BTreeSet<&str> = kernels
-        .iter()
-        .filter(|k| k.flips())
-        .map(|k| k.id.as_str())
-        .collect();
-    let (mut flip_hits, mut flip_n, mut stable_hits, mut stable_n) = (0u64, 0u64, 0u64, 0u64);
-    for spec in specs {
-        for (_, correct) in &spec.zero_shot_correct {
-            for (id, &ok) in spec.dataset_ids.iter().zip(correct) {
-                if flippy.contains(id.as_str()) {
-                    flip_n += 1;
-                    flip_hits += ok as u64;
-                } else {
-                    stable_n += 1;
-                    stable_hits += ok as u64;
+    // Labels of one language must not vary along the other language's
+    // axis — the routing invariant the whole refactor exists to enforce.
+    for (i, _) in suite.specs.iter().enumerate() {
+        for j in 1..n_cpu {
+            for (k, p) in corpus.iter().enumerate() {
+                if p.language == Language::Cuda {
+                    assert_eq!(
+                        cell(i, j).funnel.corpus_labels[k],
+                        cell(i, 0).funnel.corpus_labels[k],
+                        "{}: CUDA label varied along the CPU axis",
+                        p.id
+                    );
                 }
             }
         }
     }
-    let pct = |hits: u64, n: u64| (n > 0).then(|| 100.0 * hits as f64 / n as f64);
+    for j in 0..n_cpu {
+        for i in 1..suite.specs.len() {
+            for (k, p) in corpus.iter().enumerate() {
+                if p.language == Language::Omp {
+                    assert_eq!(
+                        cell(i, j).funnel.corpus_labels[k],
+                        cell(0, j).funnel.corpus_labels[k],
+                        "{}: OMP label varied along the GPU axis",
+                        p.id
+                    );
+                }
+            }
+        }
+    }
+
+    let language_section = |language: Language| -> LanguageFlips {
+        let axis_class = language.spec_class();
+        let (axis_names, label_cells): (Vec<String>, Vec<&SpecOutcome>) = match axis_class {
+            SpecClass::Gpu => (
+                suite.specs.iter().map(|s| s.name.clone()).collect(),
+                (0..suite.specs.len()).map(|i| cell(i, 0)).collect(),
+            ),
+            SpecClass::Cpu => (
+                suite.cpu_specs.iter().map(|s| s.name.clone()).collect(),
+                (0..n_cpu).map(|j| cell(0, j)).collect(),
+            ),
+        };
+        let kernels: Vec<KernelLabels> = corpus
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.language == language)
+            .map(|(i, p)| KernelLabels {
+                id: p.id.clone(),
+                family: p.family.clone(),
+                labels: label_cells
+                    .iter()
+                    .map(|c| c.funnel.corpus_labels[i])
+                    .collect(),
+            })
+            .collect();
+        let flipping = kernels.iter().filter(|k| k.flips()).count();
+        let flips_vs_reference = (0..label_cells.len())
+            .map(|j| {
+                kernels
+                    .iter()
+                    .filter(|k| k.labels[j] != k.labels[0])
+                    .count()
+            })
+            .collect();
+
+        // Pool zero-shot correctness over every (model, cell, sample) of
+        // this language, split by whether the sample's kernel flips
+        // anywhere along its axis.
+        let language_of: BTreeMap<&str, Language> =
+            corpus.iter().map(|p| (p.id.as_str(), p.language)).collect();
+        let flippy: BTreeSet<&str> = kernels
+            .iter()
+            .filter(|k| k.flips())
+            .map(|k| k.id.as_str())
+            .collect();
+        let (mut flip_hits, mut flip_n, mut stable_hits, mut stable_n) = (0u64, 0u64, 0u64, 0u64);
+        for c in cells {
+            for (_, correct) in &c.zero_shot_correct {
+                for (id, &ok) in c.dataset_ids.iter().zip(correct) {
+                    if language_of.get(id.as_str()) != Some(&language) {
+                        continue;
+                    }
+                    if flippy.contains(id.as_str()) {
+                        flip_n += 1;
+                        flip_hits += ok as u64;
+                    } else {
+                        stable_n += 1;
+                        stable_hits += ok as u64;
+                    }
+                }
+            }
+        }
+        let pct = |hits: u64, n: u64| (n > 0).then(|| 100.0 * hits as f64 / n as f64);
+        LanguageFlips {
+            language,
+            axis_class,
+            spec_names: axis_names,
+            kernels,
+            flipping,
+            flips_vs_reference,
+            accuracy_on_flipping: pct(flip_hits, flip_n),
+            accuracy_on_stable: pct(stable_hits, stable_n),
+        }
+    };
+
+    let by_language = vec![
+        language_section(Language::Cuda),
+        language_section(Language::Omp),
+    ];
+    let flipping = by_language.iter().map(|l| l.flipping).sum();
     FlipAnalysis {
-        spec_names: specs.iter().map(|s| s.spec.name.clone()).collect(),
-        kernels,
+        by_language,
         flipping,
-        flips_vs_reference,
-        accuracy_on_flipping: pct(flip_hits, flip_n),
-        accuracy_on_stable: pct(stable_hits, stable_n),
     }
 }
 
@@ -414,64 +607,125 @@ fn analyze_flips(corpus: &[Program], specs: &[SpecOutcome]) -> FlipAnalysis {
 mod tests {
     use super::*;
 
-    fn tiny_suite() -> Suite {
-        let mut suite =
-            Suite::smoke_with_specs(vec![HardwareSpec::rtx_3080(), HardwareSpec::mi250x()]);
-        // Shrink further: the structure, not the scale, is under test.
+    fn shrink(suite: &mut Suite) {
+        // The structure, not the scale, is under test.
         suite.base.corpus.cuda_programs = 90;
         suite.base.corpus.omp_programs = 72;
         suite.base.rq1_rooflines = 16;
         suite.base.pipeline.per_combo_cap = 10;
+    }
+
+    fn tiny_suite() -> Suite {
+        let mut suite =
+            Suite::smoke_with_specs(vec![HardwareSpec::rtx_3080(), HardwareSpec::mi250x()]);
+        shrink(&mut suite);
+        suite
+    }
+
+    fn tiny_matrix_suite() -> Suite {
+        let mut suite = Suite::smoke_with_matrix(
+            vec![HardwareSpec::rtx_3080(), HardwareSpec::mi250x()],
+            vec![HardwareSpec::epyc_9654(), HardwareSpec::grace()],
+        );
+        shrink(&mut suite);
         suite
     }
 
     #[test]
-    fn suite_produces_one_outcome_per_spec_in_order() {
-        let suite = tiny_suite();
+    fn suite_produces_one_outcome_per_cell_in_gpu_major_order() {
+        let suite = tiny_matrix_suite();
         let outcome = run_suite(&suite);
-        assert_eq!(outcome.specs.len(), suite.specs.len());
-        for (hw, out) in suite.specs.iter().zip(&outcome.specs) {
-            assert_eq!(out.spec.name, hw.name);
+        assert_eq!(outcome.specs.len(), 4);
+        let cells = suite.cells();
+        for (pair, out) in cells.iter().zip(&outcome.specs) {
+            assert_eq!(out.spec.name, pair.gpu.name);
+            assert_eq!(out.cpu_spec.name, pair.cpu.name);
             assert_eq!(out.table.rows.len(), 9);
             assert!(out.table.total_cost > 0.0);
             assert_eq!(out.dataset_ids.len(), out.funnel.final_size);
+            assert_eq!(
+                out.pair_label(),
+                format!("{} + {}", pair.gpu.name, pair.cpu.name)
+            );
         }
-        assert_eq!(outcome.flips.spec_names.len(), suite.specs.len());
-        assert_eq!(outcome.flips.flips_vs_reference[0], 0);
+        // Flip sections: CUDA over the GPU axis, OMP over the CPU axis.
+        let cuda = outcome.flips.language(Language::Cuda).unwrap();
+        assert_eq!(cuda.axis_class, SpecClass::Gpu);
+        assert_eq!(cuda.spec_names.len(), 2);
+        assert_eq!(cuda.flips_vs_reference[0], 0);
+        let omp = outcome.flips.language(Language::Omp).unwrap();
+        assert_eq!(omp.axis_class, SpecClass::Cpu);
+        assert_eq!(omp.spec_names.len(), 2);
+        assert_eq!(omp.flips_vs_reference[0], 0);
+        assert_eq!(
+            outcome.flips.total_kernels(),
+            suite.base.corpus.cuda_programs + suite.base.corpus.omp_programs
+        );
     }
 
     #[test]
     fn consumer_vs_hpc_silicon_flips_dp_kernels() {
         // The 3080's 1/64-rate DP pipes put its DP ridge at ~0.6 flop/B;
         // the MI250X's full-rate DP over 3.2 TB/s sits at ~14.6. Any
-        // DP-heavy kernel in between must flip.
+        // DP-heavy CUDA kernel in between must flip.
         let outcome = run_suite(&tiny_suite());
+        let cuda = outcome.flips.language(Language::Cuda).unwrap();
         assert!(
-            outcome.flips.flipping > 0,
-            "no kernel flipped between RTX 3080 and MI250X"
+            cuda.flipping > 0,
+            "no CUDA kernel flipped between RTX 3080 and MI250X"
         );
-        let n = outcome.flips.kernels.len();
-        assert!(outcome.flips.flipping < n, "every kernel flipped");
+        assert!(cuda.flipping < cuda.kernels.len(), "every kernel flipped");
+        // One CPU spec on the axis: OMP labels cannot flip here.
+        let omp = outcome.flips.language(Language::Omp).unwrap();
+        assert_eq!(omp.flipping, 0);
+        assert!(omp.accuracy_on_flipping.is_none());
+    }
+
+    #[test]
+    fn cpu_axis_flips_omp_kernels() {
+        // EPYC 9654 (SP ridge 16.0) vs Xeon 8480+ (23.3): OMP kernels
+        // between the two ridges flip; CUDA labels must not move at all.
+        // (Grace at 13.1 is closer to the EPYC and brackets almost no
+        // kernel in this corpus, so the EPYC/Xeon pair is the one that
+        // reliably exercises CPU-axis flips.)
+        let mut suite = Suite::smoke_with_matrix(
+            vec![HardwareSpec::rtx_3080()],
+            vec![HardwareSpec::epyc_9654(), HardwareSpec::xeon_8480p()],
+        );
+        shrink(&mut suite);
+        let outcome = run_suite(&suite);
+        let omp = outcome.flips.language(Language::Omp).unwrap();
+        assert!(
+            omp.flipping > 0,
+            "no OMP kernel flipped between EPYC 9654 and Xeon 8480+"
+        );
+        assert!(omp.flipping < omp.kernels.len());
+        let flipper = omp.kernels.iter().find(|k| k.flips()).unwrap();
+        assert!(flipper.labels.contains(&Boundedness::Compute));
+        assert!(flipper.labels.contains(&Boundedness::Bandwidth));
+        let cuda = outcome.flips.language(Language::Cuda).unwrap();
+        assert_eq!(cuda.flipping, 0, "single GPU spec cannot flip CUDA");
     }
 
     #[test]
     fn flip_analysis_counts_are_consistent() {
-        let outcome = run_suite(&tiny_suite());
-        let recount = outcome.flips.kernels.iter().filter(|k| k.flips()).count();
-        assert_eq!(outcome.flips.flipping, recount);
-        for k in &outcome.flips.kernels {
-            assert_eq!(k.labels.len(), outcome.flips.spec_names.len());
+        let outcome = run_suite(&tiny_matrix_suite());
+        let mut total = 0;
+        for section in &outcome.flips.by_language {
+            let recount = section.kernels.iter().filter(|k| k.flips()).count();
+            assert_eq!(section.flipping, recount, "{}", section.language);
+            total += recount;
+            for k in &section.kernels {
+                assert_eq!(k.labels.len(), section.spec_names.len());
+            }
+            for acc in [section.accuracy_on_flipping, section.accuracy_on_stable]
+                .into_iter()
+                .flatten()
+            {
+                assert!((0.0..=100.0).contains(&acc), "{acc}");
+            }
         }
-        // Pooled accuracies are percentages when present.
-        for acc in [
-            outcome.flips.accuracy_on_flipping,
-            outcome.flips.accuracy_on_stable,
-        ]
-        .into_iter()
-        .flatten()
-        {
-            assert!((0.0..=100.0).contains(&acc), "{acc}");
-        }
+        assert_eq!(outcome.flips.flipping, total);
     }
 
     #[test]
@@ -493,11 +747,13 @@ mod tests {
 
     #[test]
     fn timed_run_matches_untimed_and_reports_stages() {
-        let suite = tiny_suite();
+        let suite = tiny_matrix_suite();
         let caches = SuiteCaches::new();
         let (outcome, bench) = run_suite_timed(&suite, &caches);
         assert_eq!(outcome, run_suite(&suite));
         assert_eq!(bench.specs, suite.specs.len());
+        assert_eq!(bench.cpu_specs, suite.cpu_specs.len());
+        assert_eq!(bench.cells, outcome.specs.len());
         assert_eq!(bench.models_per_spec, 9);
         let names: Vec<&str> = bench.stages.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(
@@ -512,11 +768,11 @@ mod tests {
         );
         assert!(bench.stages.iter().all(|s| s.wall_ms >= 0.0));
         assert!(bench.total_ms >= bench.stages.iter().map(|s| s.wall_ms).sum::<f64>() * 0.99);
-        // Both shot styles × both specs rendered once per sample.
+        // Both shot styles × every cell rendered once per sample.
         let expected: usize = outcome.specs.iter().map(|s| 2 * s.dataset_ids.len()).sum();
         assert_eq!(bench.caches.prompt_renders as usize, expected);
         let summary = bench.summary();
-        for needle in ["spec-eval", "analysis", "prompt renders"] {
+        for needle in ["spec-eval", "analysis", "prompt renders", "cells"] {
             assert!(summary.contains(needle), "missing {needle}:\n{summary}");
         }
     }
@@ -524,7 +780,39 @@ mod tests {
     #[test]
     fn default_suite_spans_the_full_catalog() {
         let suite = Suite::default();
-        assert!(suite.specs.len() >= 6, "suite must span ≥ 6 presets");
+        assert!(suite.specs.len() >= 6, "suite must span ≥ 6 GPU presets");
+        assert!(
+            suite.cpu_specs.len() >= 3,
+            "suite must span ≥ 3 CPU presets"
+        );
         assert_eq!(Suite::smoke().specs.len(), suite.specs.len());
+        assert_eq!(Suite::smoke().cpu_specs.len(), suite.cpu_specs.len());
+        assert_eq!(
+            suite.cells().len(),
+            suite.specs.len() * suite.cpu_specs.len()
+        );
+        assert!(suite.validate().is_empty());
+    }
+
+    #[test]
+    fn misclassed_axes_are_rejected() {
+        let mut suite = tiny_suite();
+        suite.specs.push(HardwareSpec::epyc_9654());
+        suite.cpu_specs.push(HardwareSpec::rtx_4090());
+        let problems = suite.validate();
+        assert_eq!(problems.len(), 2, "{problems:?}");
+        suite.cpu_specs.clear();
+        assert!(suite
+            .validate()
+            .iter()
+            .any(|p| p.contains("at least one CPU spec")));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid suite")]
+    fn running_an_invalid_suite_panics() {
+        let mut suite = tiny_suite();
+        suite.cpu_specs = vec![HardwareSpec::rtx_3080()];
+        run_suite(&suite);
     }
 }

@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use pce_gpu_sim::{Profiler, SimCaches};
 use pce_kernels::{Language, Program};
-use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
+use pce_roofline::{classify_joint, Boundedness, SpecPair};
 use pce_tokenizer::{token_quartiles, BpeTrainer, TokenStats, Tokenizer};
 
 use crate::sample::Sample;
@@ -17,8 +17,10 @@ use crate::sample::Sample;
 /// Pipeline configuration (§2.1–2.2 defaults).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineConfig {
-    /// Profiling hardware (the paper's RTX 3080).
-    pub hardware: HardwareSpec,
+    /// Profiling hardware, one spec per machine class: CUDA programs are
+    /// profiled and labeled against `specs.gpu` (the paper's RTX 3080),
+    /// OMP programs against `specs.cpu`.
+    pub specs: SpecPair,
     /// Token-count cutoff (the paper's 8e3).
     pub max_tokens: usize,
     /// Per-(language × class) cap after balancing (the paper's 85).
@@ -36,7 +38,7 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> Self {
         PipelineConfig {
-            hardware: HardwareSpec::rtx_3080(),
+            specs: SpecPair::paper_default(),
             max_tokens: 8_000,
             per_combo_cap: 85,
             train_fraction: 0.8,
@@ -171,21 +173,31 @@ pub fn run_pipeline(corpus: &[Program], cfg: &PipelineConfig) -> (Dataset, Split
 ///
 /// # Panics
 /// Panics when `tokenized` was built from a different corpus (length
-/// mismatch).
+/// mismatch), or when `cfg.specs` holds a spec in the wrong class slot.
 pub fn run_pipeline_with(
     corpus: &[Program],
     tokenized: &TokenizedCorpus,
     cfg: &PipelineConfig,
 ) -> (Dataset, Split, PipelineReport) {
-    run_pipeline_impl(corpus, tokenized, cfg, Profiler::new(cfg.hardware.clone()))
+    run_pipeline_impl(
+        corpus,
+        tokenized,
+        cfg,
+        RoutedProfilers {
+            gpu: Profiler::new(cfg.specs.gpu.clone()),
+            cpu: Profiler::new(cfg.specs.cpu.clone()),
+        },
+    )
 }
 
 /// [`run_pipeline_with`] against a shared profiler cache bundle.
 ///
 /// Body summaries are hardware-independent, so a cross-hardware suite
-/// that runs this once per spec folds each kernel exactly once; profiles
-/// themselves are memoized per (kernel, launch, hardware) and survive
-/// across repeated suite runs. Bit-identical to the uncached pipeline.
+/// that runs this once per spec pair folds each kernel exactly once;
+/// profiles themselves are memoized per (kernel, launch, hardware) — the
+/// hardware key is the *routed* spec, so a CUDA profile taken on the GPU
+/// spec can never be served to an OMP lookup or vice versa. Bit-identical
+/// to the uncached pipeline.
 pub fn run_pipeline_cached(
     corpus: &[Program],
     tokenized: &TokenizedCorpus,
@@ -196,20 +208,43 @@ pub fn run_pipeline_cached(
         corpus,
         tokenized,
         cfg,
-        Profiler::new(cfg.hardware.clone()).with_caches(caches.clone()),
+        RoutedProfilers {
+            gpu: Profiler::new(cfg.specs.gpu.clone()).with_caches(caches.clone()),
+            cpu: Profiler::new(cfg.specs.cpu.clone()).with_caches(caches.clone()),
+        },
     )
+}
+
+/// One profiler per machine class, selected by each program's language.
+struct RoutedProfilers {
+    gpu: Profiler,
+    cpu: Profiler,
+}
+
+impl RoutedProfilers {
+    fn for_language(&self, language: Language) -> &Profiler {
+        match language.spec_class() {
+            pce_roofline::SpecClass::Gpu => &self.gpu,
+            pce_roofline::SpecClass::Cpu => &self.cpu,
+        }
+    }
 }
 
 fn run_pipeline_impl(
     corpus: &[Program],
     tokenized: &TokenizedCorpus,
     cfg: &PipelineConfig,
-    profiler: Profiler,
+    profilers: RoutedProfilers,
 ) -> (Dataset, Split, PipelineReport) {
     assert_eq!(
         tokenized.token_counts.len(),
         corpus.len(),
         "tokenized corpus does not match the program corpus"
+    );
+    assert!(
+        cfg.specs.validate().is_empty(),
+        "invalid spec pair: {:?}",
+        cfg.specs.validate()
     );
     let token_counts = &tokenized.token_counts;
     let raw_token_stats = tokenized.raw_token_stats;
@@ -219,8 +254,10 @@ fn run_pipeline_impl(
         .par_iter()
         .enumerate()
         .map(|(i, p)| {
+            let profiler = profilers.for_language(p.language);
+            let hw = profiler.hardware();
             let profile = profiler.profile_shared(&p.ir, &p.launch);
-            let label = classify_joint(&cfg.hardware, &profile.counts).label;
+            let label = classify_joint(hw, &profile.counts).label;
             Sample {
                 id: p.id.clone(),
                 family: p.family.clone(),
@@ -230,6 +267,8 @@ fn run_pipeline_impl(
                 geometry: p.launch.geometry_string(),
                 args: p.args.clone(),
                 token_count: token_counts[i],
+                spec_name: hw.name.clone(),
+                spec_class: hw.class,
                 counts: profile.counts,
                 runtime_s: profile.runtime_s,
                 label,
@@ -427,17 +466,26 @@ mod tests {
         let tokenized = tokenize_corpus(&corpus, &c);
         let caches = SimCaches::new();
         let mut other = c.clone();
-        other.hardware = pce_roofline::HardwareSpec::a100();
+        other.specs.gpu = pce_roofline::HardwareSpec::a100();
         for cfg in [&c, &other] {
             let cold = run_pipeline_with(&corpus, &tokenized, cfg);
             let warm = run_pipeline_cached(&corpus, &tokenized, cfg, &caches);
-            assert_eq!(cold, warm, "{}", cfg.hardware.name);
+            assert_eq!(cold, warm, "{}", cfg.specs.label());
         }
-        // The second spec re-used every fold; the corpus was summarized
-        // exactly once per kernel.
+        // The corpus was summarized exactly once per kernel. The second
+        // config only moves the GPU spec, so its CUDA half re-resolves
+        // via the summary cache while the OMP half (same CPU spec) is
+        // served straight from the whole-profile memo — summaries are
+        // never re-consulted for it.
+        let cuda_count = corpus
+            .iter()
+            .filter(|p| p.language == Language::Cuda)
+            .count();
         let sc = caches.summaries().counters();
         assert_eq!(sc.misses as usize, corpus.len());
-        assert_eq!(sc.hits as usize, corpus.len());
+        assert_eq!(sc.hits as usize, cuda_count);
+        let pc = caches.profiles().counters();
+        assert_eq!(pc.hits as usize, corpus.len() - cuda_count);
         // Re-running a spec hits the whole-profile memo.
         let before = caches.profiles().counters().hits;
         let _ = run_pipeline_cached(&corpus, &tokenized, &c, &caches);
@@ -453,11 +501,11 @@ mod tests {
         let c = cfg();
         let (_, _, report) = run_pipeline(&corpus, &c);
         assert_eq!(report.corpus_labels.len(), corpus.len());
-        // Spot-check alignment: relabeling program i reproduces entry i.
-        let hw = &c.hardware;
-        let profiler = Profiler::new(hw.clone());
+        // Spot-check alignment: relabeling program i (against its
+        // language-routed spec) reproduces entry i.
         for (i, p) in corpus.iter().enumerate().step_by(17) {
-            let profile = profiler.profile(&p.ir, &p.launch);
+            let hw = c.specs.for_class(p.language.spec_class());
+            let profile = Profiler::new(hw.clone()).profile(&p.ir, &p.launch);
             assert_eq!(
                 classify_joint(hw, &profile.counts).label,
                 report.corpus_labels[i],
@@ -488,10 +536,13 @@ mod tests {
 
     #[test]
     fn labels_match_reprofiling() {
-        let (dataset, _, _) = run_pipeline(&small_corpus(), &cfg());
-        let hw = HardwareSpec::rtx_3080();
+        let c = cfg();
+        let (dataset, _, _) = run_pipeline(&small_corpus(), &c);
         for s in dataset.samples.iter().take(10) {
-            assert_eq!(classify_joint(&hw, &s.counts).label, s.label, "{}", s.id);
+            let hw = c.specs.for_class(s.language.spec_class());
+            assert_eq!(classify_joint(hw, &s.counts).label, s.label, "{}", s.id);
+            assert_eq!(s.spec_name, hw.name, "{}", s.id);
+            assert_eq!(s.spec_class, hw.class, "{}", s.id);
         }
     }
 

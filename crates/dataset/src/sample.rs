@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use pce_kernels::Language;
-use pce_roofline::{Boundedness, OpCounts};
+use pce_roofline::{Boundedness, OpCounts, SpecClass};
 
 /// One dataset sample — everything RQ2/RQ3 prompts need, plus the
 /// ground-truth label and provenance.
@@ -25,6 +25,11 @@ pub struct Sample {
     pub args: Vec<String>,
     /// BPE token count of `source`.
     pub token_count: usize,
+    /// Name of the hardware spec this sample was profiled and labeled on
+    /// (the language-routed member of the pipeline's spec pair).
+    pub spec_name: String,
+    /// Machine class of that spec: `Gpu` for CUDA samples, `Cpu` for OMP.
+    pub spec_class: SpecClass,
     /// Profiled counters (ground truth inputs).
     pub counts: OpCounts,
     /// Profiled runtime in seconds.
@@ -54,6 +59,8 @@ mod tests {
             geometry: "(1,1,1) and (1,1,1)".into(),
             args: vec![],
             token_count: 10,
+            spec_name: "NVIDIA GeForce RTX 3080".into(),
+            spec_class: lang.spec_class(),
             counts: OpCounts::default(),
             runtime_s: 1e-6,
             label,

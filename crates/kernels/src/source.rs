@@ -27,6 +27,17 @@ impl Language {
             Language::Omp => "OMP",
         }
     }
+
+    /// The hardware class this language targets: CUDA kernels run on a
+    /// GPU, the OpenMP-offload half of the corpus is labeled against a
+    /// CPU roofline. This is the single routing point the whole pipeline
+    /// (profiling, labeling, prompts, suite) keys spec choice on.
+    pub fn spec_class(self) -> pce_roofline::SpecClass {
+        match self {
+            Language::Cuda => pce_roofline::SpecClass::Gpu,
+            Language::Omp => pce_roofline::SpecClass::Cpu,
+        }
+    }
 }
 
 impl std::fmt::Display for Language {

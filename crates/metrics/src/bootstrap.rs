@@ -44,21 +44,31 @@ impl BootstrapInterval {
 /// the same as bootstrapping `bool`s. The RNG stream is fully determined
 /// by `seed`.
 ///
+/// Returns `None` when `items` has fewer than two elements: an empty
+/// sample has no statistic at all, and a singleton resamples to itself on
+/// every draw, producing a zero-width interval that carries no
+/// uncertainty information — both are caller bugs better surfaced as an
+/// absent interval than as a panic (empty) or a confident-looking lie
+/// (singleton).
+///
 /// # Panics
-/// Panics on an empty sample, zero resamples, or a level outside (0, 1).
+/// Panics on zero resamples or a level outside (0, 1) — those are
+/// misconfigurations, not data conditions.
 pub fn bootstrap_ci<T, F: Fn(&[&T]) -> f64>(
     items: &[T],
     statistic: F,
     resamples: usize,
     level: f64,
     seed: u64,
-) -> BootstrapInterval {
-    assert!(!items.is_empty(), "cannot bootstrap an empty sample");
+) -> Option<BootstrapInterval> {
     assert!(resamples > 0, "need at least one resample");
     assert!(
         level > 0.0 && level < 1.0,
         "confidence level must be in (0,1)"
     );
+    if items.len() < 2 {
+        return None;
+    }
 
     let full: Vec<&T> = items.iter().collect();
     let estimate = statistic(&full);
@@ -80,13 +90,13 @@ pub fn bootstrap_ci<T, F: Fn(&[&T]) -> f64>(
     let hi_idx = (((1.0 - alpha / 2.0) * resamples as f64).ceil() as usize)
         .saturating_sub(1)
         .min(resamples - 1);
-    BootstrapInterval {
+    Some(BootstrapInterval {
         estimate,
         lo: stats[lo_idx],
         hi: stats[hi_idx],
         resamples,
         level,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,7 +110,7 @@ mod tests {
     #[test]
     fn degenerate_sample_has_zero_width() {
         let items = vec![true; 100];
-        let ci = bootstrap_ci(&items, accuracy, 200, 0.95, 7);
+        let ci = bootstrap_ci(&items, accuracy, 200, 0.95, 7).unwrap();
         assert_eq!(ci.estimate, 1.0);
         assert_eq!(ci.lo, 1.0);
         assert_eq!(ci.hi, 1.0);
@@ -110,7 +120,7 @@ mod tests {
     #[test]
     fn interval_brackets_the_estimate() {
         let items: Vec<bool> = (0..200).map(|i| i % 3 != 0).collect();
-        let ci = bootstrap_ci(&items, accuracy, 500, 0.95, 42);
+        let ci = bootstrap_ci(&items, accuracy, 500, 0.95, 42).unwrap();
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
         assert!(ci.contains(ci.estimate));
         // ~66% accuracy; CI should be within a plausible band.
@@ -120,16 +130,16 @@ mod tests {
     #[test]
     fn same_seed_reproduces_same_interval() {
         let items: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
-        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 123);
-        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 123);
+        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 123).unwrap();
+        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 123).unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_usually_differ() {
         let items: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
-        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 1);
-        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 2);
+        let a = bootstrap_ci(&items, accuracy, 300, 0.9, 1).unwrap();
+        let b = bootstrap_ci(&items, accuracy, 300, 0.9, 2).unwrap();
         // Same estimate (deterministic), but resampled bounds differ.
         assert_eq!(a.estimate, b.estimate);
         assert!(a.lo != b.lo || a.hi != b.hi);
@@ -138,15 +148,25 @@ mod tests {
     #[test]
     fn wider_level_gives_wider_interval() {
         let items: Vec<bool> = (0..150).map(|i| i % 4 != 0).collect();
-        let narrow = bootstrap_ci(&items, accuracy, 800, 0.8, 5);
-        let wide = bootstrap_ci(&items, accuracy, 800, 0.99, 5);
+        let narrow = bootstrap_ci(&items, accuracy, 800, 0.8, 5).unwrap();
+        let wide = bootstrap_ci(&items, accuracy, 800, 0.99, 5).unwrap();
         assert!(wide.width() >= narrow.width());
     }
 
     #[test]
-    #[should_panic(expected = "empty sample")]
-    fn empty_sample_panics() {
-        bootstrap_ci(&[] as &[bool], accuracy, 10, 0.95, 0);
+    fn empty_and_singleton_samples_return_none() {
+        // Both degenerate edges: no data at all, and a single outcome
+        // whose every resample is itself (a zero-width non-interval).
+        assert_eq!(bootstrap_ci(&[] as &[bool], accuracy, 10, 0.95, 0), None);
+        assert_eq!(bootstrap_ci(&[true], accuracy, 10, 0.95, 0), None);
+        // Two items is the smallest sample that bootstraps.
+        assert!(bootstrap_ci(&[true, false], accuracy, 10, 0.95, 0).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one resample")]
+    fn zero_resamples_still_panics() {
+        bootstrap_ci(&[true, false], accuracy, 0, 0.95, 0);
     }
 
     #[test]
@@ -160,7 +180,8 @@ mod tests {
             200,
             0.95,
             9,
-        );
+        )
+        .unwrap();
         assert!((ci.estimate - 0.75).abs() < 1e-12);
         assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
     }

@@ -18,9 +18,11 @@
 //!
 //! This crate provides:
 //!
-//! * [`HardwareSpec`] — GPU hardware descriptions with per-operation-class
-//!   peaks (single-precision FLOP, double-precision FLOP, integer op) and a
-//!   preset database (RTX 3080 and friends),
+//! * [`HardwareSpec`] — GPU *and* CPU hardware descriptions with
+//!   per-operation-class peaks (single-precision FLOP, double-precision
+//!   FLOP, integer op), a [`SpecClass`] tag, and a preset database
+//!   (RTX 3080 and friends on the GPU side; EPYC 9654, Xeon 8480+ and
+//!   Grace on the CPU side), plus [`SpecPair`] for language-aware routing,
 //! * [`Roofline`] — a single (peak, bandwidth) roofline with balance-point,
 //!   attainable-performance, and classification queries,
 //! * [`OpCounts`] / [`KernelObservation`] — profiled operation/byte counters
@@ -53,7 +55,7 @@ pub mod observation;
 pub mod plot;
 
 pub use classify::{classify_joint, classify_per_class, Boundedness, JointClassification};
-pub use hardware::{HardwareSpec, OpClass};
+pub use hardware::{HardwareSpec, OpClass, PresetLookupError, SpecClass, SpecPair};
 pub use hierarchical::{HierarchicalRoofline, MemLevel};
 pub use model::Roofline;
 pub use observation::{KernelObservation, OpCounts};

@@ -237,7 +237,7 @@ proptest! {
 
     #[test]
     fn preset_lookup_survives_case_and_separator_mangling(
-        idx in 0usize..7,
+        idx in 0usize..10,
         case_seed in prop::collection::vec(0u8..2, 64..65),
         sep in prop::sample::select(vec!["", " ", "-", "_", ".", "  "]),
     ) {
@@ -259,8 +259,40 @@ proptest! {
             }
         }
         let found = HardwareSpec::preset_by_name(&mangled);
-        prop_assert!(found.is_some(), "'{}' failed to resolve", mangled);
+        prop_assert!(found.is_ok(), "'{}' failed to resolve", mangled);
         prop_assert_eq!(&found.unwrap().name, &original.name);
+    }
+
+    #[test]
+    fn ridge_points_are_finite_positive_and_monotone_in_bandwidth(
+        idx in 0usize..10,
+        scale in 1.01f64..100.0,
+    ) {
+        // Satellite invariant for BOTH spec classes (GPU and CPU presets
+        // alike): every class's ridge point is finite and positive, and
+        // raising bandwidth strictly lowers it (ridge = peak / bandwidth,
+        // in the class's own units — FLOP/byte or INTOP/byte).
+        let presets = HardwareSpec::presets();
+        prop_assert!(idx < presets.len());
+        let hw = &presets[idx];
+        let mut wider = hw.clone();
+        wider.bandwidth_gbs *= scale;
+        for class in OpClass::ALL {
+            let ridge = hw.ridge_point(class);
+            let ridge_wider = wider.ridge_point(class);
+            prop_assert!(ridge.is_finite() && ridge > 0.0, "{} {class}: {ridge}", hw.name);
+            prop_assert!(
+                ridge_wider.is_finite() && ridge_wider > 0.0,
+                "{} {class}: {ridge_wider}", hw.name
+            );
+            prop_assert!(
+                ridge_wider < ridge,
+                "{} {class}: ridge must fall as bandwidth rises ({ridge_wider} !< {ridge})",
+                hw.name
+            );
+            // Exactly inverse-proportional: ridge(bw*k) * k == ridge(bw).
+            prop_assert!((ridge_wider * scale - ridge).abs() < 1e-9 * ridge.max(1.0));
+        }
     }
 }
 
@@ -311,7 +343,7 @@ fn preset_by_name_round_trips_every_catalog_name() {
     assert_eq!(HardwareSpec::preset_names().len(), presets.len());
     for hw in &presets {
         let by_full = HardwareSpec::preset_by_name(&hw.name)
-            .unwrap_or_else(|| panic!("'{}' did not resolve", hw.name));
+            .unwrap_or_else(|e| panic!("'{}' did not resolve: {e}", hw.name));
         assert_eq!(&by_full, hw, "full-name lookup must be exact");
         let by_lower = HardwareSpec::preset_by_name(&hw.name.to_lowercase()).unwrap();
         assert_eq!(&by_lower, hw);

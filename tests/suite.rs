@@ -1,22 +1,30 @@
 //! End-to-end tests for the cross-hardware suite: the shared build must
-//! be exactly equivalent to rebuilding every spec from scratch, the
-//! corpus/tokenizer work must be shared (not redone per spec), and the
-//! hardware matrix must actually flip kernel labels.
+//! be exactly equivalent to rebuilding every (GPU, CPU) cell from
+//! scratch, the corpus/tokenizer work must be shared (not redone per
+//! cell), and each language's hardware axis must actually flip its own
+//! kernels' labels.
 
 use parallel_code_estimation::core::study::StudyData;
 use parallel_code_estimation::core::suite::{run_suite_shared, SharedBuild, Suite};
 use parallel_code_estimation::core::table1::build_table1;
+use parallel_code_estimation::kernels::Language;
 use parallel_code_estimation::roofline::{Boundedness, HardwareSpec};
 
 fn small_suite() -> Suite {
-    // Three specs spanning the catalog's extremes: consumer 1/64-rate DP
-    // (3080), balanced datacenter (A100), bandwidth-rich full-rate DP
-    // (MI250X).
-    Suite::smoke_with_specs(vec![
-        HardwareSpec::rtx_3080(),
-        HardwareSpec::a100(),
-        HardwareSpec::mi250x(),
-    ])
+    // Three GPU specs spanning the catalog's extremes: consumer 1/64-rate
+    // DP (3080), balanced datacenter (A100), bandwidth-rich full-rate DP
+    // (MI250X) — each paired with EPYC 9654 (SP ridge 16.0) and Xeon
+    // 8480+ (23.3): the corpus has kernels between those two ridges, so
+    // the OMP half genuinely flips along the CPU axis (Grace at 13.1 sits
+    // too close to the EPYC to bracket any).
+    Suite::smoke_with_matrix(
+        vec![
+            HardwareSpec::rtx_3080(),
+            HardwareSpec::a100(),
+            HardwareSpec::mi250x(),
+        ],
+        vec![HardwareSpec::epyc_9654(), HardwareSpec::xeon_8480p()],
+    )
 }
 
 #[test]
@@ -24,23 +32,23 @@ fn shared_build_is_equivalent_to_independent_rebuilds() {
     let suite = small_suite();
     let shared = SharedBuild::build(&suite);
     let outcome = run_suite_shared(&suite, &shared);
-    assert_eq!(outcome.specs.len(), suite.specs.len());
+    assert_eq!(outcome.specs.len(), suite.cells().len());
 
-    for (hw, spec_out) in suite.specs.iter().zip(&outcome.specs) {
-        // Rebuild this spec completely from scratch: fresh corpus, fresh
+    for (pair, spec_out) in suite.cells().iter().zip(&outcome.specs) {
+        // Rebuild this cell completely from scratch: fresh corpus, fresh
         // tokenizer training, fresh RQ1 runs.
-        let study = suite.base.with_hardware(hw.clone());
+        let study = suite.base.with_specs(pair.clone());
         let data = StudyData::build(&study);
         let table = build_table1(&study, &data);
 
-        assert_eq!(spec_out.funnel, data.report, "{}: funnel diverged", hw.name);
+        let label = pair.label();
+        assert_eq!(spec_out.funnel, data.report, "{label}: funnel diverged");
         assert_eq!(
             spec_out.table, table,
-            "{}: Table 1 diverged from a from-scratch rebuild",
-            hw.name
+            "{label}: Table 1 diverged from a from-scratch rebuild"
         );
         let ids: Vec<String> = data.dataset.samples.iter().map(|s| s.id.clone()).collect();
-        assert_eq!(spec_out.dataset_ids, ids, "{}", hw.name);
+        assert_eq!(spec_out.dataset_ids, ids, "{label}");
     }
 }
 
@@ -50,64 +58,89 @@ fn corpus_and_tokenizer_are_built_once_and_shared() {
     let shared = SharedBuild::build(&suite);
     let outcome = run_suite_shared(&suite, &shared);
 
-    // Every spec's funnel must carry the *shared* tokenization verbatim —
+    // Every cell's funnel must carry the *shared* tokenization verbatim —
     // the raw token distribution comes straight from `shared.tokenized`,
-    // not from a per-spec retrain.
+    // not from a per-cell retrain.
     assert!(shared.tokenized.raw_token_stats.is_some());
     assert_eq!(shared.tokenized.token_counts.len(), shared.corpus.len());
     for spec_out in &outcome.specs {
         assert_eq!(
-            spec_out.funnel.raw_token_stats, shared.tokenized.raw_token_stats,
+            spec_out.funnel.raw_token_stats,
+            shared.tokenized.raw_token_stats,
             "{}: tokenization was not shared",
-            spec_out.spec.name
+            spec_out.pair_label()
         );
         // Hardware never changes what was built, only how it is labeled.
         let built: usize = spec_out.funnel.built.values().sum();
-        assert_eq!(built, shared.corpus.len(), "{}", spec_out.spec.name);
+        assert_eq!(built, shared.corpus.len(), "{}", spec_out.pair_label());
         assert_eq!(
             spec_out.funnel.corpus_labels.len(),
             shared.corpus.len(),
             "{}",
-            spec_out.spec.name
+            spec_out.pair_label()
         );
     }
 }
 
 #[test]
-fn at_least_one_kernel_flips_between_presets() {
+fn each_language_flips_along_its_own_axis() {
     let suite = small_suite();
     let outcome = run_suite_shared(&suite, &SharedBuild::build(&suite));
     let flips = &outcome.flips;
 
-    assert!(
-        flips.flipping >= 1,
-        "no corpus kernel flipped boundedness anywhere in the matrix"
+    for section in &flips.by_language {
+        assert!(
+            section.flipping >= 1,
+            "no {} kernel flipped along the {} axis",
+            section.language,
+            section.axis_class
+        );
+        assert!(
+            section.flipping < section.kernels.len(),
+            "every {} kernel flipped — labels degenerate",
+            section.language
+        );
+        // A flipping kernel really does carry two distinct labels.
+        let flipper = section.kernels.iter().find(|k| k.flips()).unwrap();
+        assert!(flipper.labels.contains(&Boundedness::Compute));
+        assert!(flipper.labels.contains(&Boundedness::Bandwidth));
+        // The reference column of `flips_vs_reference` is zero by
+        // definition, while some other axis spec disagrees with it.
+        assert_eq!(section.flips_vs_reference[0], 0);
+        assert!(section.flips_vs_reference.iter().any(|&n| n > 0));
+        // Both accuracy pools exist at this scale (flipping and stable
+        // kernels both reach the balanced dataset).
+        assert!(
+            section.accuracy_on_flipping.is_some(),
+            "{}",
+            section.language
+        );
+        assert!(section.accuracy_on_stable.is_some(), "{}", section.language);
+    }
+    assert_eq!(
+        flips.flipping,
+        flips.by_language.iter().map(|l| l.flipping).sum::<usize>()
     );
-    assert!(
-        flips.flipping < flips.kernels.len(),
-        "every kernel flipped — labels degenerate"
+    // The two sections partition the corpus.
+    let cuda = flips.language(Language::Cuda).unwrap();
+    let omp = flips.language(Language::Omp).unwrap();
+    assert_eq!(
+        cuda.kernels.len() + omp.kernels.len(),
+        SharedBuild::build(&suite).corpus.len()
     );
-    // A flipping kernel really does carry two distinct labels.
-    let flipper = flips.kernels.iter().find(|k| k.flips()).unwrap();
-    assert!(flipper.labels.contains(&Boundedness::Compute));
-    assert!(flipper.labels.contains(&Boundedness::Bandwidth));
-    // And the reference column of `flips_vs_reference` is zero by
-    // definition, while some other spec disagrees with it.
-    assert_eq!(flips.flips_vs_reference[0], 0);
-    assert!(flips.flips_vs_reference.iter().any(|&n| n > 0));
-    // Both accuracy pools exist at this scale (flipping and stable
-    // kernels both reach the balanced dataset).
-    assert!(flips.accuracy_on_flipping.is_some());
-    assert!(flips.accuracy_on_stable.is_some());
 }
 
 #[test]
-fn suite_smoke_covers_at_least_six_presets() {
+fn suite_smoke_covers_the_preset_catalog() {
     // Acceptance: the `suite` binary's default matrix (all presets) spans
-    // ≥ 6 specs at smoke scale. Structural check here; CI runs the bin.
+    // ≥ 6 GPU specs × ≥ 3 CPU specs at smoke scale. Structural check
+    // here; CI runs the bin.
     assert!(Suite::smoke().specs.len() >= 6);
+    assert!(Suite::smoke().cpu_specs.len() >= 3);
     assert!(Suite::default().specs.len() >= 6);
-    for hw in &Suite::smoke().specs {
+    assert!(Suite::default().cpu_specs.len() >= 3);
+    for hw in Suite::smoke().specs.iter().chain(&Suite::smoke().cpu_specs) {
         assert!(hw.validate().is_empty(), "{} invalid", hw.name);
     }
+    assert!(Suite::smoke().validate().is_empty());
 }
