@@ -14,10 +14,17 @@
 //! (default `BENCH_suite.json`) — the perf baseline future PRs measure
 //! against. The rendered reports are byte-identical with or without the
 //! flag.
+//!
+//! `--chaos <seed>` turns on deterministic fault injection against the
+//! surrogate engine (truncations, mangled answers, refusals, timeouts,
+//! transient errors); `--fault-rate <r>` sets the total injection
+//! probability (default 0.1). The run degrades gracefully — retried and
+//! failed responses land in a response ledger rendered with the reports —
+//! and the same seed reproduces the same faults byte-for-byte.
 
-use pce_bench::{parse_specs_of, study_from_args, timings_path_from_args};
+use pce_bench::{chaos_from_args, parse_specs_of, study_from_args, timings_path_from_args};
 use pce_core::caches::SuiteCaches;
-use pce_core::report::{render_flips_csv, render_suite, render_suite_csv};
+use pce_core::report::{render_accounting_csv, render_flips_csv, render_suite, render_suite_csv};
 use pce_core::suite::{run_suite, run_suite_timed, Suite};
 use pce_roofline::{HardwareSpec, SpecClass};
 
@@ -65,23 +72,44 @@ fn main() {
         SpecClass::Cpu,
         HardwareSpec::cpu_presets(),
     );
+    let mut base = study_from_args();
+    base.chaos = match chaos_from_args(&args) {
+        Ok(chaos) => chaos,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let chaos_active = base.chaos.is_some();
     let suite = Suite {
-        base: study_from_args(),
+        base,
         specs,
         cpu_specs,
     };
 
     let timings = timings_path_from_args(&args);
-    let outcome = match &timings {
+    let run = match &timings {
         None => run_suite(&suite),
-        Some(path) => {
-            let caches = SuiteCaches::new();
-            let (outcome, bench) = run_suite_timed(&suite, &caches);
-            let json = serde_json::to_string_pretty(&bench).expect("bench report serialization");
-            std::fs::write(path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        Some(path) => run_suite_timed(&suite, &SuiteCaches::new()).map(|(outcome, bench)| {
+            match serde_json::to_string_pretty(&bench) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, &json) {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(2);
+                    }
+                    eprintln!("wrote {path}");
+                }
+                Err(e) => eprintln!("cannot serialize bench report: {e}"),
+            }
             eprintln!("{}", bench.summary());
-            eprintln!("wrote {path}");
             outcome
+        }),
+    };
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("suite failed: {e}");
+            std::process::exit(2);
         }
     };
 
@@ -91,4 +119,21 @@ fn main() {
         render_suite_csv(&outcome)
     );
     println!("### CSV — label flips\n\n{}", render_flips_csv(&outcome));
+    if chaos_active {
+        let acc = outcome.accounting();
+        println!(
+            "### CSV — response ledger\n\n{}",
+            render_accounting_csv(&outcome)
+        );
+        println!(
+            "chaos summary: injected={} recovered={} invalid={} refused={} retries={} backoff_ms={} balanced={}",
+            acc.injected,
+            acc.retried_valid,
+            acc.invalid,
+            acc.refused,
+            acc.retries,
+            acc.backoff_ms,
+            acc.balanced(),
+        );
+    }
 }

@@ -19,7 +19,9 @@
 //! default to the paper-scale study otherwise; `suite` also accepts
 //! `--specs <name,name,...>` to pick the hardware matrix rows.
 
-use pce_core::study::Study;
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
+use pce_core::study::{ChaosConfig, Study};
 use pce_roofline::{HardwareSpec, SpecClass};
 
 /// Parse the common CLI convention: `--smoke` selects the reduced study.
@@ -50,6 +52,48 @@ pub fn timings_path_from_args(args: &[String]) -> Option<String> {
             .cloned()
             .unwrap_or_else(|| "BENCH_suite.json".to_string()),
     )
+}
+
+/// The value following `flag`, when present and not itself a flag.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    let at = args.iter().position(|a| a == flag)?;
+    args.get(at + 1)
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+}
+
+/// Parse the chaos convention: `--chaos <seed>` switches fault injection
+/// on, `--fault-rate <r>` tunes the total injection probability (default
+/// 0.1, split evenly across the fault kinds). Without `--chaos` the run
+/// is fault-free; `--fault-rate` alone is rejected so a typo can't
+/// silently drop the chaos layer.
+pub fn chaos_from_args(args: &[String]) -> Result<Option<ChaosConfig>, String> {
+    let has_chaos = args.iter().any(|a| a == "--chaos");
+    let has_rate = args.iter().any(|a| a == "--fault-rate");
+    if !has_chaos {
+        if has_rate {
+            return Err("--fault-rate requires --chaos <seed>".to_string());
+        }
+        return Ok(None);
+    }
+    let seed = flag_value(args, "--chaos")
+        .ok_or("--chaos needs a seed, e.g. --chaos 42")?
+        .parse::<u64>()
+        .map_err(|e| format!("--chaos seed must be a u64: {e}"))?;
+    let rate = match flag_value(args, "--fault-rate") {
+        None if has_rate => return Err("--fault-rate needs a value in [0, 1]".to_string()),
+        None => 0.1,
+        Some(raw) => {
+            let r = raw
+                .parse::<f64>()
+                .map_err(|e| format!("--fault-rate must be a number: {e}"))?;
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("--fault-rate must be in [0, 1], got {r}"));
+            }
+            r
+        }
+    };
+    Ok(Some(ChaosConfig::uniform(seed, rate)))
 }
 
 /// Parse a comma-separated spec list into hardware presets of any class.
@@ -124,6 +168,35 @@ mod tests {
             timings_path_from_args(&args(&["suite", "--timings", "--smoke"])),
             Some("BENCH_suite.json".to_string())
         );
+    }
+
+    #[test]
+    fn chaos_flags_parse_and_reject_typos() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(chaos_from_args(&args(&["suite", "--smoke"])), Ok(None));
+
+        let cfg = chaos_from_args(&args(&["suite", "--chaos", "42"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(cfg.plan.seed, 42);
+        assert!((cfg.plan.rates.total() - 0.1).abs() < 1e-12);
+
+        let cfg = chaos_from_args(&args(&["suite", "--chaos", "7", "--fault-rate", "0.25"]))
+            .unwrap()
+            .unwrap();
+        assert!((cfg.plan.rates.total() - 0.25).abs() < 1e-12);
+
+        for bad in [
+            vec!["suite", "--fault-rate", "0.1"],
+            vec!["suite", "--chaos"],
+            vec!["suite", "--chaos", "--smoke"],
+            vec!["suite", "--chaos", "nope"],
+            vec!["suite", "--chaos", "1", "--fault-rate"],
+            vec!["suite", "--chaos", "1", "--fault-rate", "1.5"],
+            vec!["suite", "--chaos", "1", "--fault-rate", "abc"],
+        ] {
+            assert!(chaos_from_args(&args(&bad)).is_err(), "{bad:?}");
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn run_hyperparam_check(
                             .with_sampling(sampling)
                             .with_seed(study.seed ^ (i as u64) << 8),
                     );
-                    match Boundedness::parse(&resp.text) {
+                    match resp.ok().and_then(|r| Boundedness::parse(&r.text)) {
                         Some(Boundedness::Compute) => (1u64, 0u64),
                         _ => (0u64, 1u64),
                     }

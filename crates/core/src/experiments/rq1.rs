@@ -45,7 +45,12 @@ fn accuracy_over_suite(
             let prompt = render_rq1_prompt(suite, i, shots, cot);
             let resp = engine.complete(&ChatRequest::new(model, prompt).with_seed(i as u64));
             let truth = item.truth == Boundedness::Compute;
-            let pred = Boundedness::parse(&resp.text).map(|b| b == Boundedness::Compute);
+            // An engine error (injected timeout, unknown model) scores as
+            // an invalid response, same as an unparseable answer.
+            let pred = resp
+                .ok()
+                .and_then(|r| Boundedness::parse(&r.text))
+                .map(|b| b == Boundedness::Compute);
             (truth, pred)
         })
         .collect();

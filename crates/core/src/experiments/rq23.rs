@@ -6,6 +6,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::Sample;
+use pce_fault::ResponseAccounting;
 use pce_llm::{SamplingParams, SurrogateEngine};
 use pce_metrics::{ConfusionMatrix, MetricBundle};
 use pce_prompt::{render_classify_prompt, ClassifyRequest, ShotStyle};
@@ -27,6 +28,9 @@ pub struct ClassificationOutcome {
     /// Per-sample correctness, aligned with the dataset order (for paired
     /// tests such as McNemar between RQ2 and RQ3).
     pub correct: Vec<bool>,
+    /// Response ledger over the whole sample set: valid /
+    /// retried-then-valid / invalid / refused, plus injection counts.
+    pub accounting: ResponseAccounting,
 }
 
 /// Build the Fig.-4 prompt for one sample.
@@ -92,23 +96,35 @@ pub fn run_classification_prompted(
         "prompts are not aligned with the sample set"
     );
     let sampling = SamplingParams::default(); // temperature 0.1, top_p 0.2 (§3.2)
-    let results: Vec<(bool, Option<bool>)> = samples
+    let policy = study.chaos.as_ref().map(|c| c.retry).unwrap_or_default();
+    let results: Vec<(bool, Option<bool>, ResponseAccounting)> = samples
         .par_iter()
         .enumerate()
         .map(|(i, sample)| {
-            let resp =
-                engine.complete_prompt(model, &prompts[i], Some(sampling), study.seed ^ i as u64);
+            // The retry loop degrades failures instead of crashing: an
+            // injected fault that exhausts retries (or a refusal) lands
+            // in the invalid/refused columns of the ledger and the
+            // confusion matrix's invalid counts.
+            let out = engine.complete_with_retry(
+                model,
+                &prompts[i],
+                Some(sampling),
+                study.seed ^ i as u64,
+                &policy,
+            );
             let truth = sample.label == Boundedness::Compute;
-            let pred = Boundedness::parse(&resp.text).map(|b| b == Boundedness::Compute);
-            (truth, pred)
+            let pred = out.verdict.map(|b| b == Boundedness::Compute);
+            (truth, pred, out.accounting)
         })
         .collect();
 
     let mut cm = ConfusionMatrix::new();
     let mut correct = Vec::with_capacity(results.len());
-    for &(truth, pred) in &results {
-        cm.record_opt(truth, pred);
-        correct.push(pred == Some(truth));
+    let mut accounting = ResponseAccounting::new();
+    for (truth, pred, acc) in &results {
+        cm.record_opt(*truth, *pred);
+        correct.push(*pred == Some(*truth));
+        accounting.merge(acc);
     }
     ClassificationOutcome {
         model: model.to_string(),
@@ -116,6 +132,7 @@ pub fn run_classification_prompted(
         metrics: cm.bundle(),
         confusion: cm,
         correct,
+        accounting,
     }
 }
 

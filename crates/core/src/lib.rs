@@ -33,6 +33,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod caches;
 pub mod experiments;
@@ -43,5 +44,7 @@ pub mod suite;
 pub mod table1;
 
 pub use caches::{CacheReport, SuiteCaches};
-pub use study::{Study, StudyData};
-pub use suite::{run_suite, run_suite_cached, run_suite_timed, Suite, SuiteBench, SuiteOutcome};
+pub use study::{ChaosConfig, Study, StudyData};
+pub use suite::{
+    run_suite, run_suite_cached, run_suite_timed, CellOutcome, Suite, SuiteBench, SuiteOutcome,
+};

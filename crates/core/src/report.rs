@@ -43,6 +43,42 @@ pub fn render_table1(table: &Table1) -> String {
         );
     }
     let _ = writeln!(out, "\nTotal simulated API spend: ${:.2}", table.total_cost);
+    let acc = table.accounting();
+    if acc.faulted() {
+        out.push_str("\n### Response accounting\n\n");
+        out.push_str(
+            "| Model | Valid | Retried→valid | Invalid | Refused | Injected | Retries | Backoff (ms) |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|\n");
+        for r in &table.rows {
+            let a = &r.accounting;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                r.model,
+                a.valid,
+                a.retried_valid,
+                a.invalid,
+                a.refused,
+                a.injected,
+                a.retries,
+                a.backoff_ms,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nLedger: {} injected = {} recovered + {} invalid + {} refused ({}).",
+            acc.injected,
+            acc.retried_valid,
+            acc.invalid,
+            acc.refused,
+            if acc.balanced() {
+                "balanced"
+            } else {
+                "UNBALANCED"
+            },
+        );
+    }
     out
 }
 
@@ -50,20 +86,23 @@ pub fn render_table1(table: &Table1) -> String {
 /// per-cell summary, the language-split label-flip analysis, and one
 /// Table-1 section per (GPU, CPU) cell.
 pub fn render_suite(outcome: &SuiteOutcome) -> String {
+    let completed = outcome.completed();
     let mut out = String::with_capacity(8192);
     let _ = writeln!(
         out,
         "# Cross-hardware suite — {} cells × {} models\n",
-        outcome.specs.len(),
-        outcome.specs.first().map_or(0, |s| s.table.rows.len()),
+        outcome.cells.len(),
+        completed.first().map_or(0, |s| s.table.rows.len()),
     );
 
     // Distinct specs on either axis, with their class and ridge points.
+    // Failed cells keep their catalog entries so the matrix stays legible.
     out.push_str("| Hardware | Class | SP ridge | DP ridge | INT ridge |\n");
     out.push_str("|---|---|---|---|---|\n");
     let mut seen = std::collections::BTreeSet::new();
-    for s in &outcome.specs {
-        for hw in [&s.spec, &s.cpu_spec] {
+    for c in &outcome.cells {
+        let (gpu, cpu) = c.specs();
+        for hw in [gpu, cpu] {
             if seen.insert(hw.name.clone()) {
                 let _ = writeln!(
                     out,
@@ -81,7 +120,7 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
     out.push_str(
         "\n| GPU | CPU | Dataset | Best RQ2 model | Best RQ2 acc. | Spend |\n|---|---|---|---|---|---|\n",
     );
-    for s in &outcome.specs {
+    for s in &completed {
         // Deterministic argmax: strictly-greater keeps the first (highest
         // RQ1-sorted) row on ties.
         let best = s
@@ -103,6 +142,20 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
             best.rq2.accuracy,
             s.table.total_cost,
         );
+    }
+
+    let failures = outcome.failures();
+    if !failures.is_empty() {
+        out.push_str("\n## Failed cells\n\n");
+        let _ = writeln!(
+            out,
+            "{} of {} cells failed; their results are omitted below.\n",
+            failures.len(),
+            outcome.cells.len(),
+        );
+        for (label, error) in &failures {
+            let _ = writeln!(out, "- {label}: {error}");
+        }
     }
 
     let flips = &outcome.flips;
@@ -149,7 +202,7 @@ pub fn render_suite(outcome: &SuiteOutcome) -> String {
         );
     }
 
-    for s in &outcome.specs {
+    for s in &completed {
         let _ = writeln!(out, "\n## Table 1 — {}\n", s.pair_label());
         out.push_str(&render_table1(&s.table));
     }
@@ -163,7 +216,7 @@ pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
         "hardware,cpu_hardware,model,reasoning,rq1_acc,rq1_cot_acc,rq2_acc,rq2_f1,rq2_mcc,rq3_acc,rq3_f1,rq3_mcc\n",
     );
     let csv_opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.2}"));
-    for s in &outcome.specs {
+    for s in outcome.completed() {
         for r in &s.table.rows {
             let _ = writeln!(
                 out,
@@ -180,6 +233,36 @@ pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
                 r.rq3.accuracy,
                 r.rq3.macro_f1,
                 r.rq3.mcc,
+            );
+        }
+    }
+    out
+}
+
+/// Render the suite's per-(cell, model) response ledger as CSV: valid /
+/// retried-then-valid / invalid / refused counts plus injection and retry
+/// totals, one row per model per completed cell.
+pub fn render_accounting_csv(outcome: &SuiteOutcome) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str(
+        "hardware,cpu_hardware,model,valid,retried_valid,invalid,refused,injected,retries,backoff_ms\n",
+    );
+    for s in outcome.completed() {
+        for r in &s.table.rows {
+            let a = &r.accounting;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                s.spec.name,
+                s.cpu_spec.name,
+                r.model,
+                a.valid,
+                a.retried_valid,
+                a.invalid,
+                a.refused,
+                a.injected,
+                a.retries,
+                a.backoff_ms,
             );
         }
     }
@@ -336,10 +419,10 @@ mod tests {
             pce_roofline::HardwareSpec::rtx_3080(),
             pce_roofline::HardwareSpec::a100(),
         ]);
-        let outcome = crate::suite::run_suite(&suite);
+        let outcome = crate::suite::run_suite(&suite).unwrap();
 
         let md = render_suite(&outcome);
-        for s in &outcome.specs {
+        for s in outcome.completed() {
             assert!(
                 md.contains(&format!("## Table 1 — {}", s.pair_label())),
                 "missing per-cell table for {}",
@@ -350,11 +433,18 @@ mod tests {
         assert!(md.contains("### CUDA kernels × GPU specs"));
         assert!(md.contains("### OMP kernels × CPU specs"));
         assert!(md.contains("Pooled zero-shot accuracy"));
+        // Fault-free runs carry no accounting or failure sections.
+        assert!(!md.contains("### Response accounting"));
+        assert!(!md.contains("## Failed cells"));
 
         let csv = render_suite_csv(&outcome);
         assert!(csv.starts_with("hardware,cpu_hardware,model,reasoning"));
         // Header + (cells × 9 models) rows.
-        assert_eq!(csv.lines().count(), 1 + outcome.specs.len() * 9);
+        assert_eq!(csv.lines().count(), 1 + outcome.completed().len() * 9);
+
+        let acc_csv = render_accounting_csv(&outcome);
+        assert!(acc_csv.starts_with("hardware,cpu_hardware,model,valid"));
+        assert_eq!(acc_csv.lines().count(), 1 + outcome.completed().len() * 9);
 
         let flips = render_flips_csv(&outcome);
         assert!(flips.contains("# language=CUDA axis=GPU"));

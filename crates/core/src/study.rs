@@ -3,8 +3,31 @@
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::{run_pipeline, Dataset, PipelineConfig, PipelineReport, Split};
+use pce_fault::{FaultPlan, RetryPolicy};
 use pce_kernels::{build_corpus, CorpusConfig, Program};
 use pce_roofline::SpecPair;
+
+/// Chaos configuration: the seeded fault plan the surrogate engine
+/// consults, plus the retry policy the classification loops run under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// The fault plan (seed + per-kind injection rates).
+    pub plan: FaultPlan,
+    /// Bounded-retry policy for classification requests.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosConfig {
+    /// A chaos config splitting one total fault rate evenly across all
+    /// fault kinds, with the default retry policy — what
+    /// `suite --chaos <seed> --fault-rate <r>` builds.
+    pub fn uniform(seed: u64, fault_rate: f64) -> ChaosConfig {
+        ChaosConfig {
+            plan: FaultPlan::uniform(seed, fault_rate),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// Top-level study configuration. Defaults reproduce the paper's setup:
 /// RTX 3080 for the CUDA half (paired with the EPYC 9654 CPU preset for
@@ -24,6 +47,10 @@ pub struct Study {
     pub rq1_rooflines: usize,
     /// Master evaluation seed.
     pub seed: u64,
+    /// Optional chaos layer: fault injection plus retry policy. `None`
+    /// (the default) runs the engine fault-free and renders byte-identical
+    /// to the historical golden reports.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for Study {
@@ -38,6 +65,7 @@ impl Default for Study {
             },
             rq1_rooflines: 240,
             seed: 0x9f0f_11e5,
+            chaos: None,
         }
     }
 }

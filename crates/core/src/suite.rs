@@ -32,6 +32,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::{run_pipeline_cached, tokenize_corpus, PipelineReport, TokenizedCorpus};
+use pce_fault::{PceError, ResponseAccounting};
 use pce_kernels::{build_corpus, Language, Program};
 use pce_roofline::{Boundedness, HardwareSpec, SpecClass, SpecPair};
 
@@ -288,61 +289,186 @@ impl FlipAnalysis {
     }
 }
 
+/// One matrix cell's result: a completed Table-1 evaluation, or a
+/// structured failure that leaves the rest of the matrix intact.
+// A suite holds at most a few dozen cells, so the size gap between the
+// completed and failed variants costs nothing in practice.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CellOutcome {
+    /// The cell ran to completion.
+    Completed(SpecOutcome),
+    /// The cell could not produce a usable Table 1 — an invalid spec pair,
+    /// or every response exhausted its retries. The error explains why;
+    /// the rest of the matrix renders around it.
+    Failed {
+        /// The GPU spec of the failed cell.
+        spec: HardwareSpec,
+        /// The CPU spec of the failed cell.
+        cpu_spec: HardwareSpec,
+        /// What went wrong.
+        error: PceError,
+    },
+}
+
+impl CellOutcome {
+    /// The completed outcome, if the cell succeeded.
+    pub fn completed(&self) -> Option<&SpecOutcome> {
+        match self {
+            CellOutcome::Completed(out) => Some(out),
+            CellOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure error, if the cell failed.
+    pub fn error(&self) -> Option<&PceError> {
+        match self {
+            CellOutcome::Completed(_) => None,
+            CellOutcome::Failed { error, .. } => Some(error),
+        }
+    }
+
+    /// The cell's (GPU, CPU) spec pair — available whether or not the
+    /// cell completed, so catalogs can cover the whole matrix.
+    pub fn specs(&self) -> (&HardwareSpec, &HardwareSpec) {
+        match self {
+            CellOutcome::Completed(out) => (&out.spec, &out.cpu_spec),
+            CellOutcome::Failed { spec, cpu_spec, .. } => (spec, cpu_spec),
+        }
+    }
+
+    /// `"<gpu name> + <cpu name>"`, matching [`SpecOutcome::pair_label`].
+    pub fn pair_label(&self) -> String {
+        match self {
+            CellOutcome::Completed(out) => out.pair_label(),
+            CellOutcome::Failed { spec, cpu_spec, .. } => SpecPair {
+                gpu: spec.clone(),
+                cpu: cpu_spec.clone(),
+            }
+            .label(),
+        }
+    }
+}
+
 /// The full suite result: per-cell outcomes plus the flip analysis.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SuiteOutcome {
     /// One outcome per (GPU, CPU) cell, in [`Suite::cells`] order
-    /// (GPU-major).
-    pub specs: Vec<SpecOutcome>,
-    /// The cross-spec, language-split label-flip analysis.
+    /// (GPU-major). Failed cells stay in place so the matrix shape is
+    /// preserved.
+    pub cells: Vec<CellOutcome>,
+    /// The cross-spec, language-split label-flip analysis (over the
+    /// completed cells).
     pub flips: FlipAnalysis,
 }
 
+impl SuiteOutcome {
+    /// The completed cells, in matrix order.
+    pub fn completed(&self) -> Vec<&SpecOutcome> {
+        self.cells
+            .iter()
+            .filter_map(CellOutcome::completed)
+            .collect()
+    }
+
+    /// The failed cells as `(pair label, error)`, in matrix order.
+    pub fn failures(&self) -> Vec<(String, &PceError)> {
+        self.cells
+            .iter()
+            .filter_map(|c| c.error().map(|e| (c.pair_label(), e)))
+            .collect()
+    }
+
+    /// The suite-wide response ledger: every completed cell's Table-1
+    /// accounting merged.
+    pub fn accounting(&self) -> ResponseAccounting {
+        self.completed()
+            .iter()
+            .fold(ResponseAccounting::new(), |acc, out| {
+                acc.merged(&out.table.accounting())
+            })
+    }
+}
+
 /// Run the whole suite: shared build, then every (GPU, CPU, model) cell.
-pub fn run_suite(suite: &Suite) -> SuiteOutcome {
+///
+/// Fails with [`PceError::Spec`] only when an axis is empty; any
+/// *per-cell* problem (a misclassed spec, chaos exhausting every retry)
+/// degrades that cell to [`CellOutcome::Failed`] instead.
+pub fn run_suite(suite: &Suite) -> Result<SuiteOutcome, PceError> {
     run_suite_cached(suite, &SuiteCaches::new())
 }
 
 /// Run the whole suite against a shared cache bundle. Reusing one bundle
 /// across runs also reuses per-(kernel, spec) profiles and analyses;
 /// warm and cold bundles produce byte-identical outcomes.
-pub fn run_suite_cached(suite: &Suite, caches: &SuiteCaches) -> SuiteOutcome {
+pub fn run_suite_cached(suite: &Suite, caches: &SuiteCaches) -> Result<SuiteOutcome, PceError> {
     let shared = SharedBuild::build_cached(suite, caches);
     run_suite_shared_cached(suite, &shared, caches)
 }
 
 /// Run the suite against an existing [`SharedBuild`] (exposed so tests
 /// can assert exactly what is shared).
-///
-/// # Panics
-/// Panics when [`Suite::validate`] reports problems (empty axis or a spec
-/// in the wrong class slot).
-pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> SuiteOutcome {
+pub fn run_suite_shared(suite: &Suite, shared: &SharedBuild) -> Result<SuiteOutcome, PceError> {
     run_suite_shared_cached(suite, shared, &SuiteCaches::new())
 }
 
 /// [`run_suite_shared`] against a shared cache bundle.
-///
-/// # Panics
-/// Panics when [`Suite::validate`] reports problems.
 pub fn run_suite_shared_cached(
     suite: &Suite,
     shared: &SharedBuild,
     caches: &SuiteCaches,
-) -> SuiteOutcome {
-    let problems = suite.validate();
-    assert!(problems.is_empty(), "invalid suite: {problems:?}");
-    let specs = run_specs(suite, shared, caches);
-    let flips = analyze_flips(suite, &shared.corpus, &specs);
-    SuiteOutcome { specs, flips }
+) -> Result<SuiteOutcome, PceError> {
+    validate_axes(suite)?;
+    let cells = run_specs(suite, shared, caches);
+    let flips = analyze_flips(suite, &shared.corpus, &cells);
+    Ok(SuiteOutcome { cells, flips })
 }
 
-/// Evaluate every matrix cell (parallel) against the shared build.
-fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<SpecOutcome> {
+/// The only suite-fatal configuration problem: an empty axis leaves no
+/// cells to evaluate at all.
+fn validate_axes(suite: &Suite) -> Result<(), PceError> {
+    if suite.specs.is_empty() {
+        return Err(PceError::spec("suite needs at least one GPU spec"));
+    }
+    if suite.cpu_specs.is_empty() {
+        return Err(PceError::spec("suite needs at least one CPU spec"));
+    }
+    Ok(())
+}
+
+/// Per-cell spec validation: each half of the pair must sit on the right
+/// machine-class axis.
+fn validate_pair(pair: &SpecPair) -> Result<(), PceError> {
+    if pair.gpu.class != SpecClass::Gpu {
+        return Err(PceError::spec(format!(
+            "'{}' on the GPU axis is a {}",
+            pair.gpu.name, pair.gpu.class
+        )));
+    }
+    if pair.cpu.class != SpecClass::Cpu {
+        return Err(PceError::spec(format!(
+            "'{}' on the CPU axis is a {}",
+            pair.cpu.name, pair.cpu.class
+        )));
+    }
+    Ok(())
+}
+
+/// Evaluate every matrix cell (parallel) against the shared build,
+/// degrading per-cell failures to [`CellOutcome::Failed`].
+fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<CellOutcome> {
     suite
         .cells()
         .par_iter()
         .map(|pair| {
+            if let Err(error) = validate_pair(pair) {
+                return CellOutcome::Failed {
+                    spec: pair.gpu.clone(),
+                    cpu_spec: pair.cpu.clone(),
+                    error,
+                };
+            }
             let study = suite.base.with_specs(pair.clone());
             // Re-profile and relabel the shared corpus under this cell's
             // language-routed spec pair; no per-cell corpus clone or
@@ -358,14 +484,28 @@ fn run_specs(suite: &Suite, shared: &SharedBuild, caches: &SuiteCaches) -> Vec<S
             );
             let detail =
                 build_table1_from_bank_cached(&study, &dataset.samples, &shared.rq1, caches);
-            SpecOutcome {
+            // A cell whose every response exhausted retries has no signal
+            // left to tabulate: degrade it instead of reporting a table
+            // of all-invalid confusion matrices as if it were data.
+            let acc = detail.table.accounting();
+            if acc.total() > 0 && acc.valid + acc.retried_valid == 0 {
+                return CellOutcome::Failed {
+                    spec: pair.gpu.clone(),
+                    cpu_spec: pair.cpu.clone(),
+                    error: PceError::io(format!(
+                        "all {} responses were invalid or refused after retries",
+                        acc.total()
+                    )),
+                };
+            }
+            CellOutcome::Completed(SpecOutcome {
                 spec: pair.gpu.clone(),
                 cpu_spec: pair.cpu.clone(),
                 dataset_ids: dataset.samples.iter().map(|s| s.id.clone()).collect(),
                 zero_shot_correct: detail.zero_shot_correct,
                 table: detail.table,
                 funnel,
-            }
+            })
         })
         .collect()
 }
@@ -399,6 +539,9 @@ pub struct SuiteBench {
     pub total_ms: f64,
     /// Cache effectiveness across every layer.
     pub caches: CacheReport,
+    /// Suite-wide response ledger (all completed cells merged); all-zero
+    /// on chaos-free runs.
+    pub accounting: ResponseAccounting,
 }
 
 impl SuiteBench {
@@ -430,6 +573,13 @@ impl SuiteBench {
             ));
         }
         out.push_str(&format!("  prompt renders    {:>8}\n", c.prompt_renders));
+        if self.accounting.faulted() {
+            let a = &self.accounting;
+            out.push_str(&format!(
+                "  chaos: {} injected / {} recovered / {} invalid / {} refused ({} retries, {} ms backoff)\n",
+                a.injected, a.recovered(), a.invalid, a.refused, a.retries, a.backoff_ms
+            ));
+        }
         out
     }
 }
@@ -439,9 +589,11 @@ impl SuiteBench {
 /// The outcome is byte-identical to [`run_suite_cached`] on the same
 /// bundle; the accompanying [`SuiteBench`] carries per-stage wall-clock
 /// and the bundle's cache counters.
-pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, SuiteBench) {
-    let problems = suite.validate();
-    assert!(problems.is_empty(), "invalid suite: {problems:?}");
+pub fn run_suite_timed(
+    suite: &Suite,
+    caches: &SuiteCaches,
+) -> Result<(SuiteOutcome, SuiteBench), PceError> {
+    validate_axes(suite)?;
     let t_total = Instant::now();
     let mut stages = Vec::new();
     let mut stage = |name: &str, t: Instant| {
@@ -456,13 +608,14 @@ pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, Su
     let shared = SharedBuild::build_instrumented(suite, caches, &mut stage);
 
     let t = Instant::now();
-    let specs = run_specs(suite, &shared, caches);
+    let cells = run_specs(suite, &shared, caches);
     stage("spec-eval", t);
 
     let t = Instant::now();
-    let flips = analyze_flips(suite, &shared.corpus, &specs);
+    let flips = analyze_flips(suite, &shared.corpus, &cells);
     stage("flip-analysis", t);
 
+    let outcome = SuiteOutcome { cells, flips };
     let bench = SuiteBench {
         specs: suite.specs.len(),
         cpu_specs: suite.cpu_specs.len(),
@@ -471,30 +624,36 @@ pub fn run_suite_timed(suite: &Suite, caches: &SuiteCaches) -> (SuiteOutcome, Su
         stages,
         total_ms: t_total.elapsed().as_secs_f64() * 1e3,
         caches: caches.report(),
+        accounting: outcome.accounting(),
     };
-    (SuiteOutcome { specs, flips }, bench)
+    Ok((outcome, bench))
 }
 
 /// Cross-spec label comparison plus flip-tracking accuracy, one section
 /// per language.
 ///
 /// A kernel's label depends only on its own language's axis spec, so the
-/// CUDA section reads the cells of the first CPU column (one per GPU
-/// spec) and the OMP section reads the first GPU row — after asserting
-/// the labels really are invariant along the other axis.
-fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[SpecOutcome]) -> FlipAnalysis {
+/// CUDA section reads one completed cell per GPU row and the OMP section
+/// one per CPU column — after asserting the labels really are invariant
+/// along the other axis. Failed cells are skipped: an axis spec with no
+/// completed cell at all is dropped from its section.
+fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[CellOutcome]) -> FlipAnalysis {
     let n_cpu = suite.cpu_specs.len();
-    let cell = |gpu_idx: usize, cpu_idx: usize| &cells[gpu_idx * n_cpu + cpu_idx];
+    let cell = |gpu_idx: usize, cpu_idx: usize| cells[gpu_idx * n_cpu + cpu_idx].completed();
 
     // Labels of one language must not vary along the other language's
     // axis — the routing invariant the whole refactor exists to enforce.
+    // Checked across every pair of completed cells that shares a row or
+    // column.
     for (i, _) in suite.specs.iter().enumerate() {
         for j in 1..n_cpu {
+            let (Some(a), Some(b)) = (cell(i, j), cell(i, 0)) else {
+                continue;
+            };
             for (k, p) in corpus.iter().enumerate() {
                 if p.language == Language::Cuda {
                     assert_eq!(
-                        cell(i, j).funnel.corpus_labels[k],
-                        cell(i, 0).funnel.corpus_labels[k],
+                        a.funnel.corpus_labels[k], b.funnel.corpus_labels[k],
                         "{}: CUDA label varied along the CPU axis",
                         p.id
                     );
@@ -504,11 +663,13 @@ fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[SpecOutcome]) -> Fl
     }
     for j in 0..n_cpu {
         for i in 1..suite.specs.len() {
+            let (Some(a), Some(b)) = (cell(i, j), cell(0, j)) else {
+                continue;
+            };
             for (k, p) in corpus.iter().enumerate() {
                 if p.language == Language::Omp {
                     assert_eq!(
-                        cell(i, j).funnel.corpus_labels[k],
-                        cell(0, j).funnel.corpus_labels[k],
+                        a.funnel.corpus_labels[k], b.funnel.corpus_labels[k],
                         "{}: OMP label varied along the GPU axis",
                         p.id
                     );
@@ -519,15 +680,29 @@ fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[SpecOutcome]) -> Fl
 
     let language_section = |language: Language| -> LanguageFlips {
         let axis_class = language.spec_class();
+        // One completed cell per axis index; axis entries with no
+        // completed cell are dropped (their labels are unknowable).
         let (axis_names, label_cells): (Vec<String>, Vec<&SpecOutcome>) = match axis_class {
-            SpecClass::Gpu => (
-                suite.specs.iter().map(|s| s.name.clone()).collect(),
-                (0..suite.specs.len()).map(|i| cell(i, 0)).collect(),
-            ),
-            SpecClass::Cpu => (
-                suite.cpu_specs.iter().map(|s| s.name.clone()).collect(),
-                (0..n_cpu).map(|j| cell(0, j)).collect(),
-            ),
+            SpecClass::Gpu => suite
+                .specs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| {
+                    (0..n_cpu)
+                        .find_map(|j| cell(i, j))
+                        .map(|c| (s.name.clone(), c))
+                })
+                .unzip(),
+            SpecClass::Cpu => suite
+                .cpu_specs
+                .iter()
+                .enumerate()
+                .filter_map(|(j, s)| {
+                    (0..suite.specs.len())
+                        .find_map(|i| cell(i, j))
+                        .map(|c| (s.name.clone(), c))
+                })
+                .unzip(),
         };
         let kernels: Vec<KernelLabels> = corpus
             .iter()
@@ -563,7 +738,7 @@ fn analyze_flips(suite: &Suite, corpus: &[Program], cells: &[SpecOutcome]) -> Fl
             .map(|k| k.id.as_str())
             .collect();
         let (mut flip_hits, mut flip_n, mut stable_hits, mut stable_n) = (0u64, 0u64, 0u64, 0u64);
-        for c in cells {
+        for c in cells.iter().filter_map(CellOutcome::completed) {
             for (_, correct) in &c.zero_shot_correct {
                 for (id, &ok) in c.dataset_ids.iter().zip(correct) {
                     if language_of.get(id.as_str()) != Some(&language) {
@@ -634,10 +809,11 @@ mod tests {
     #[test]
     fn suite_produces_one_outcome_per_cell_in_gpu_major_order() {
         let suite = tiny_matrix_suite();
-        let outcome = run_suite(&suite);
-        assert_eq!(outcome.specs.len(), 4);
+        let outcome = run_suite(&suite).unwrap();
+        assert_eq!(outcome.completed().len(), 4);
+        assert!(outcome.failures().is_empty());
         let cells = suite.cells();
-        for (pair, out) in cells.iter().zip(&outcome.specs) {
+        for (pair, out) in cells.iter().zip(outcome.completed()) {
             assert_eq!(out.spec.name, pair.gpu.name);
             assert_eq!(out.cpu_spec.name, pair.cpu.name);
             assert_eq!(out.table.rows.len(), 9);
@@ -668,7 +844,7 @@ mod tests {
         // The 3080's 1/64-rate DP pipes put its DP ridge at ~0.6 flop/B;
         // the MI250X's full-rate DP over 3.2 TB/s sits at ~14.6. Any
         // DP-heavy CUDA kernel in between must flip.
-        let outcome = run_suite(&tiny_suite());
+        let outcome = run_suite(&tiny_suite()).unwrap();
         let cuda = outcome.flips.language(Language::Cuda).unwrap();
         assert!(
             cuda.flipping > 0,
@@ -693,7 +869,7 @@ mod tests {
             vec![HardwareSpec::epyc_9654(), HardwareSpec::xeon_8480p()],
         );
         shrink(&mut suite);
-        let outcome = run_suite(&suite);
+        let outcome = run_suite(&suite).unwrap();
         let omp = outcome.flips.language(Language::Omp).unwrap();
         assert!(
             omp.flipping > 0,
@@ -709,7 +885,7 @@ mod tests {
 
     #[test]
     fn flip_analysis_counts_are_consistent() {
-        let outcome = run_suite(&tiny_matrix_suite());
+        let outcome = run_suite(&tiny_matrix_suite()).unwrap();
         let mut total = 0;
         for section in &outcome.flips.by_language {
             let recount = section.kernels.iter().filter(|k| k.flips()).count();
@@ -731,10 +907,10 @@ mod tests {
     #[test]
     fn warm_and_cold_bundles_produce_identical_outcomes() {
         let suite = tiny_suite();
-        let cold = run_suite(&suite);
+        let cold = run_suite(&suite).unwrap();
         let caches = SuiteCaches::new();
-        let warm_first = run_suite_cached(&suite, &caches);
-        let warm_second = run_suite_cached(&suite, &caches);
+        let warm_first = run_suite_cached(&suite, &caches).unwrap();
+        let warm_second = run_suite_cached(&suite, &caches).unwrap();
         assert_eq!(cold, warm_first, "cold vs first cached run");
         assert_eq!(cold, warm_second, "cold vs fully-warm rerun");
         // The rerun must have been served from the profile memo and the
@@ -749,11 +925,12 @@ mod tests {
     fn timed_run_matches_untimed_and_reports_stages() {
         let suite = tiny_matrix_suite();
         let caches = SuiteCaches::new();
-        let (outcome, bench) = run_suite_timed(&suite, &caches);
-        assert_eq!(outcome, run_suite(&suite));
+        let (outcome, bench) = run_suite_timed(&suite, &caches).unwrap();
+        assert_eq!(outcome, run_suite(&suite).unwrap());
         assert_eq!(bench.specs, suite.specs.len());
         assert_eq!(bench.cpu_specs, suite.cpu_specs.len());
-        assert_eq!(bench.cells, outcome.specs.len());
+        assert_eq!(bench.cells, outcome.completed().len());
+        assert!(!bench.accounting.faulted(), "chaos-free run");
         assert_eq!(bench.models_per_spec, 9);
         let names: Vec<&str> = bench.stages.iter().map(|s| s.stage.as_str()).collect();
         assert_eq!(
@@ -769,7 +946,11 @@ mod tests {
         assert!(bench.stages.iter().all(|s| s.wall_ms >= 0.0));
         assert!(bench.total_ms >= bench.stages.iter().map(|s| s.wall_ms).sum::<f64>() * 0.99);
         // Both shot styles × every cell rendered once per sample.
-        let expected: usize = outcome.specs.iter().map(|s| 2 * s.dataset_ids.len()).sum();
+        let expected: usize = outcome
+            .completed()
+            .iter()
+            .map(|s| 2 * s.dataset_ids.len())
+            .sum();
         assert_eq!(bench.caches.prompt_renders as usize, expected);
         let summary = bench.summary();
         for needle in ["spec-eval", "analysis", "prompt renders", "cells"] {
@@ -809,10 +990,59 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid suite")]
-    fn running_an_invalid_suite_panics() {
+    fn misclassed_cells_degrade_instead_of_poisoning_the_matrix() {
+        // A GPU spec in the CPU slot: every cell of that column fails
+        // with a Spec error, the valid column still completes, and the
+        // flip analysis drops the dead axis entry.
         let mut suite = tiny_suite();
-        suite.cpu_specs = vec![HardwareSpec::rtx_3080()];
-        run_suite(&suite);
+        suite.cpu_specs = vec![HardwareSpec::epyc_9654(), HardwareSpec::rtx_3080()];
+        let outcome = run_suite(&suite).unwrap();
+        assert_eq!(outcome.cells.len(), 4);
+        assert_eq!(outcome.completed().len(), 2);
+        let failures = outcome.failures();
+        assert_eq!(failures.len(), 2);
+        for (label, error) in &failures {
+            assert!(label.contains("+ NVIDIA GeForce RTX 3080"), "{label}");
+            assert_eq!(error.kind(), "spec");
+            assert!(error.to_string().contains("on the CPU axis"), "{error}");
+        }
+        // The OMP section keeps only the axis entry with completed cells.
+        let omp = outcome.flips.language(Language::Omp).unwrap();
+        assert_eq!(omp.spec_names.len(), 1);
+        let cuda = outcome.flips.language(Language::Cuda).unwrap();
+        assert_eq!(cuda.spec_names.len(), 2);
+    }
+
+    #[test]
+    fn chaos_suite_completes_every_cell_with_a_balanced_ledger() {
+        let mut suite = tiny_suite();
+        suite.base.chaos = Some(crate::study::ChaosConfig::uniform(42, 0.1));
+        let outcome = run_suite(&suite).unwrap();
+        // A 10% fault rate recovers through retries; no cell dies.
+        assert_eq!(outcome.completed().len(), outcome.cells.len());
+        let acc = outcome.accounting();
+        assert!(acc.injected > 0, "chaos must actually inject");
+        assert!(acc.retried_valid > 0, "retries must actually recover");
+        assert!(acc.balanced(), "{acc:?}");
+        for s in outcome.completed() {
+            assert!(s.table.accounting().balanced());
+        }
+        // The same seed reproduces the ledger exactly.
+        let again = run_suite(&suite).unwrap();
+        assert_eq!(outcome, again);
+    }
+
+    #[test]
+    fn empty_axes_are_suite_fatal() {
+        let mut suite = tiny_suite();
+        suite.cpu_specs.clear();
+        let err = run_suite(&suite).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid spec: suite needs at least one CPU spec"
+        );
+        suite.specs.clear();
+        let err = run_suite(&suite).unwrap_err();
+        assert!(err.to_string().contains("at least one GPU spec"));
     }
 }

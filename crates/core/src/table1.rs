@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use pce_fault::ResponseAccounting;
 use pce_llm::{model_zoo, LlmCaches, SurrogateEngine, UsageMeter};
 use pce_metrics::MetricBundle;
 use pce_prompt::ShotStyle;
@@ -36,6 +37,9 @@ pub struct Table1Row {
     pub rq2: MetricBundle,
     /// RQ3 few-shot metrics.
     pub rq3: MetricBundle,
+    /// Response ledger over this model's RQ2+RQ3 requests (all-zero and
+    /// report-invisible on chaos-free runs).
+    pub accounting: ResponseAccounting,
 }
 
 /// The assembled table plus total spend.
@@ -46,6 +50,17 @@ pub struct Table1 {
     pub rows: Vec<Table1Row>,
     /// Total simulated API spend in dollars.
     pub total_cost: f64,
+}
+
+impl Table1 {
+    /// The table-wide response ledger (all rows merged).
+    pub fn accounting(&self) -> ResponseAccounting {
+        self.rows
+            .iter()
+            .fold(ResponseAccounting::new(), |acc, row| {
+                acc.merged(&row.accounting)
+            })
+    }
 }
 
 /// Models whose RQ1 runs the paper skipped (§3.4: "excluded because their
@@ -141,7 +156,10 @@ pub fn build_table1_from_bank_cached(
     bank: &Rq1Bank,
     caches: &SuiteCaches,
 ) -> Table1Detail {
-    let engine = SurrogateEngine::with_caches(caches.llm.clone());
+    let engine = SurrogateEngine::with_caches_and_faults(
+        caches.llm.clone(),
+        study.chaos.as_ref().map(|c| c.plan.clone()),
+    );
     let zoo = model_zoo();
     // One render pass per shot style, shared by every model below.
     let zero_prompts = render_prompts(study, samples, ShotStyle::ZeroShot);
@@ -176,6 +194,7 @@ pub fn build_table1_from_bank_cached(
                 cost: format!("${} / ${}", spec.input_cost, spec.output_cost),
                 rq1_acc,
                 rq1_cot_acc,
+                accounting: rq2.accounting.merged(&rq3.accounting),
                 rq2: rq2.metrics,
                 rq3: rq3.metrics,
             };
@@ -195,7 +214,8 @@ pub fn build_table1_from_bank_cached(
     // ties break deterministically.
     rows.sort_by(|a, b| {
         let key = |r: &Table1Row| (r.rq1_acc.unwrap_or(0.0), r.rq2.accuracy);
-        key(b).partial_cmp(&key(a)).unwrap()
+        let (ka, kb) = (key(a), key(b));
+        kb.0.total_cmp(&ka.0).then(kb.1.total_cmp(&ka.1))
     });
     Table1Detail {
         table: Table1 {

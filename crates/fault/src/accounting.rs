@@ -1,0 +1,139 @@
+//! Valid / retried / invalid / refused response tallies.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-bucket response accounting, the ledger the paper's automation keeps
+/// when hosted answers go wrong: how many completions parsed first try,
+/// how many needed a retry, and how many were unusable.
+///
+/// The balance invariant `injected == retried_valid + invalid + refused`
+/// holds because every injected fault corrupts the answer (never silently
+/// passes) while an un-injected surrogate completion always parses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseAccounting {
+    /// Completions that parsed on the first attempt.
+    pub valid: u64,
+    /// Completions that failed at least once but parsed after a retry.
+    pub retried_valid: u64,
+    /// Completions that exhausted retries without a parseable answer.
+    pub invalid: u64,
+    /// Completions terminated by a refusal.
+    pub refused: u64,
+    /// Attempts on which the fault plan injected a failure.
+    pub injected: u64,
+    /// Extra attempts issued beyond the first, across all requests.
+    pub retries: u64,
+    /// Total deterministic backoff the retry loop recorded, in ms.
+    pub backoff_ms: u64,
+}
+
+impl ResponseAccounting {
+    /// An empty ledger.
+    pub fn new() -> ResponseAccounting {
+        ResponseAccounting::default()
+    }
+
+    /// Fold another ledger into this one.
+    pub fn merge(&mut self, other: &ResponseAccounting) {
+        self.valid += other.valid;
+        self.retried_valid += other.retried_valid;
+        self.invalid += other.invalid;
+        self.refused += other.refused;
+        self.injected += other.injected;
+        self.retries += other.retries;
+        self.backoff_ms += other.backoff_ms;
+    }
+
+    /// Merge-and-return, for fold chains.
+    pub fn merged(mut self, other: &ResponseAccounting) -> ResponseAccounting {
+        self.merge(other);
+        self
+    }
+
+    /// Total requests accounted for.
+    pub fn total(&self) -> u64 {
+        self.valid + self.retried_valid + self.invalid + self.refused
+    }
+
+    /// Requests that a fault hit but a retry repaired.
+    pub fn recovered(&self) -> u64 {
+        self.retried_valid
+    }
+
+    /// Whether any fault touched this bucket — gates the accounting
+    /// sections in reports so chaos-free runs render byte-identically to
+    /// the historical goldens.
+    pub fn faulted(&self) -> bool {
+        self.injected > 0 || self.retried_valid > 0 || self.invalid > 0 || self.refused > 0
+    }
+
+    /// The chaos balance invariant: every injected fault must end up
+    /// recovered, invalid, or refused.
+    pub fn balanced(&self) -> bool {
+        self.injected == self.retried_valid + self.invalid + self.refused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ledger_is_clean_and_balanced() {
+        let a = ResponseAccounting::new();
+        assert_eq!(a.total(), 0);
+        assert!(!a.faulted());
+        assert!(a.balanced());
+    }
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let a = ResponseAccounting {
+            valid: 10,
+            retried_valid: 2,
+            invalid: 1,
+            refused: 1,
+            injected: 4,
+            retries: 5,
+            backoff_ms: 700,
+        };
+        let merged = a.merged(&a);
+        assert_eq!(merged.valid, 20);
+        assert_eq!(merged.retried_valid, 4);
+        assert_eq!(merged.invalid, 2);
+        assert_eq!(merged.refused, 2);
+        assert_eq!(merged.injected, 8);
+        assert_eq!(merged.retries, 10);
+        assert_eq!(merged.backoff_ms, 1400);
+        assert_eq!(merged.total(), 28);
+        assert_eq!(merged.recovered(), 4);
+        assert!(merged.faulted());
+        assert!(merged.balanced());
+    }
+
+    #[test]
+    fn imbalance_is_detected() {
+        let a = ResponseAccounting {
+            injected: 3,
+            retried_valid: 1,
+            ..ResponseAccounting::new()
+        };
+        assert!(!a.balanced());
+    }
+
+    #[test]
+    fn accounting_round_trips_through_serde() {
+        let a = ResponseAccounting {
+            valid: 1,
+            retried_valid: 2,
+            invalid: 3,
+            refused: 4,
+            injected: 9,
+            retries: 6,
+            backoff_ms: 123,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        let back: ResponseAccounting = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

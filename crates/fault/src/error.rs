@@ -1,0 +1,153 @@
+//! The workspace-wide typed error taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// Every way the harness's service boundary can fail, with the
+/// retryability classification a request loop needs.
+///
+/// The taxonomy mirrors what the paper's automation sees from hosted
+/// endpoints: malformed answers (`Parse`), request timeouts (`Timeout`),
+/// content refusals (`Refusal`), misconfigured requests (`Spec`), and
+/// transient service errors (`Io`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PceError {
+    /// Text (a response or a prompt) did not contain what the parser
+    /// required. Retryable for responses: re-asking a model can yield a
+    /// well-formed answer.
+    Parse {
+        /// What failed to parse, naming the missing marker or field.
+        what: String,
+    },
+    /// A request exceeded its deadline. Retryable.
+    Timeout {
+        /// The simulated deadline that elapsed, in milliseconds.
+        ms: u64,
+    },
+    /// The model declined to answer. Not retryable: re-asking the same
+    /// model the same question yields the same refusal.
+    Refusal {
+        /// The refusing model's name.
+        model: String,
+    },
+    /// An invalid specification or configuration (unknown model, empty
+    /// hardware axis, a CPU preset on the GPU axis, ...). Not retryable:
+    /// the request itself is wrong.
+    Spec {
+        /// What was invalid.
+        what: String,
+    },
+    /// A transient transport/service error (connection reset, 5xx).
+    /// Retryable.
+    Io {
+        /// What went wrong.
+        what: String,
+    },
+}
+
+impl PceError {
+    /// Build a [`PceError::Parse`] from anything displayable.
+    pub fn parse(what: impl Into<String>) -> PceError {
+        PceError::Parse { what: what.into() }
+    }
+
+    /// Build a [`PceError::Spec`] from anything displayable.
+    pub fn spec(what: impl Into<String>) -> PceError {
+        PceError::Spec { what: what.into() }
+    }
+
+    /// Build a [`PceError::Io`] from anything displayable.
+    pub fn io(what: impl Into<String>) -> PceError {
+        PceError::Io { what: what.into() }
+    }
+
+    /// Whether a bounded retry loop should re-issue the request.
+    ///
+    /// `Timeout` and `Io` model transient service conditions; `Parse`
+    /// covers malformed *responses*, which a salted retry can repair.
+    /// `Refusal` and `Spec` are stable properties of the request and
+    /// retrying them only burns budget.
+    pub fn retryable(&self) -> bool {
+        match self {
+            PceError::Parse { .. } | PceError::Timeout { .. } | PceError::Io { .. } => true,
+            PceError::Refusal { .. } | PceError::Spec { .. } => false,
+        }
+    }
+
+    /// Short stable tag for reports and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PceError::Parse { .. } => "parse",
+            PceError::Timeout { .. } => "timeout",
+            PceError::Refusal { .. } => "refusal",
+            PceError::Spec { .. } => "spec",
+            PceError::Io { .. } => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for PceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PceError::Parse { what } => write!(f, "parse error: {what}"),
+            PceError::Timeout { ms } => write!(f, "request timed out after {ms} ms"),
+            PceError::Refusal { model } => write!(f, "model '{model}' refused to answer"),
+            PceError::Spec { what } => write!(f, "invalid spec: {what}"),
+            PceError::Io { what } => write!(f, "transient service error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<PceError> {
+        vec![
+            PceError::parse("missing 'Question:' marker"),
+            PceError::Timeout { ms: 30_000 },
+            PceError::Refusal { model: "o1".into() },
+            PceError::spec("model 'gpt-6' is not in the zoo"),
+            PceError::io("connection reset by peer"),
+        ]
+    }
+
+    #[test]
+    fn display_messages_name_the_failure() {
+        let msgs: Vec<String> = all_variants().iter().map(|e| e.to_string()).collect();
+        assert_eq!(msgs[0], "parse error: missing 'Question:' marker");
+        assert_eq!(msgs[1], "request timed out after 30000 ms");
+        assert_eq!(msgs[2], "model 'o1' refused to answer");
+        assert_eq!(msgs[3], "invalid spec: model 'gpt-6' is not in the zoo");
+        assert_eq!(msgs[4], "transient service error: connection reset by peer");
+    }
+
+    #[test]
+    fn retryability_classification() {
+        let by_kind: std::collections::BTreeMap<&str, bool> = all_variants()
+            .iter()
+            .map(|e| (e.kind(), e.retryable()))
+            .collect();
+        assert!(by_kind["parse"]);
+        assert!(by_kind["timeout"]);
+        assert!(by_kind["io"]);
+        assert!(!by_kind["refusal"]);
+        assert!(!by_kind["spec"]);
+    }
+
+    #[test]
+    fn errors_round_trip_through_serde() {
+        for e in all_variants() {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: PceError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn error_trait_is_usable_as_a_box() {
+        let boxed: Box<dyn std::error::Error> = Box::new(PceError::Timeout { ms: 5 });
+        assert!(boxed.to_string().contains("5 ms"));
+    }
+}

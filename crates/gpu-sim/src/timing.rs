@@ -59,9 +59,8 @@ impl TimingBreakdown {
         ];
         pairs
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .unwrap()
-            .0
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map_or("latency", |p| p.0)
     }
 }
 
@@ -124,7 +123,7 @@ pub fn estimate_runtime(
     // Secondary resources overlap imperfectly with the bottleneck: charge
     // a 10% tax of the runner-up to avoid knife-edge max() artifacts.
     let mut sorted = [t_fp32, t_fp64, t_int, t_sfu, t_shared, t_dram, t_latency];
-    sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    sorted.sort_by(|a, b| b.total_cmp(a));
     let runtime_s = body + 0.1 * sorted[1] + LAUNCH_OVERHEAD_S;
 
     TimingBreakdown {

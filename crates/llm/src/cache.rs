@@ -145,7 +145,7 @@ impl LlmCaches {
             |k| k == prompt,
             || prompt.to_string(),
             || {
-                parse_classify(prompt).map(|question| {
+                parse_classify(prompt).ok().map(|question| {
                     let deep_params = bind_args_to_params(&question.source, &question.args);
                     ParsedClassify {
                         question,
@@ -169,7 +169,7 @@ impl LlmCaches {
             h.finish(),
             |k| k == prompt,
             || prompt.to_string(),
-            || parse_rq1(prompt),
+            || parse_rq1(prompt).ok(),
         )
     }
 
@@ -276,7 +276,7 @@ mod tests {
                       executed with an Arithmetic Intensity of 0.6 FLOP/Byte ... \
                       does the roofline model consider the program as compute-bound?\nAnswer:";
         let cached = caches.rq1(prompt);
-        assert_eq!(*cached, parse_rq1(prompt));
+        assert_eq!(*cached, parse_rq1(prompt).ok());
         let again = caches.rq1(prompt);
         assert!(Arc::ptr_eq(&cached, &again));
     }

@@ -16,6 +16,10 @@
 
 use std::collections::BTreeMap;
 
+use pce_fault::{
+    attempt_seed, corrupt_text, is_refusal_text, FaultKind, FaultPlan, PceError,
+    ResponseAccounting, RetryPolicy,
+};
 use pce_roofline::Boundedness;
 
 use crate::api::{approx_tokens, ChatRequest, ChatResponse, SamplingParams, Usage, UsageMeter};
@@ -23,11 +27,30 @@ use crate::cache::{prompt_fingerprint, LlmCaches, ParsedClassify};
 use crate::parse::{has_cot_examples, is_rq1_prompt};
 use crate::zoo::{model, Capability, ModelSpec};
 
+/// The simulated deadline an injected [`FaultKind::Timeout`] reports.
+const SIMULATED_DEADLINE_MS: u64 = 30_000;
+
+/// The result of one retried completion: the final response (when any
+/// attempt produced usable text), the parsed verdict, the terminal error,
+/// and the per-request [`ResponseAccounting`] ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionOutcome {
+    /// The last response body seen, if any attempt returned one.
+    pub response: Option<ChatResponse>,
+    /// The parsed boundedness verdict, when the final response parsed.
+    pub verdict: Option<Boundedness>,
+    /// The terminal error when no attempt yielded a parseable answer.
+    pub error: Option<PceError>,
+    /// Exactly one of valid / retried_valid / invalid / refused is set.
+    pub accounting: ResponseAccounting,
+}
+
 /// The shared engine.
 #[derive(Debug, Clone, Default)]
 pub struct SurrogateEngine {
     meter: UsageMeter,
     caches: LlmCaches,
+    faults: Option<FaultPlan>,
 }
 
 impl SurrogateEngine {
@@ -44,6 +67,18 @@ impl SurrogateEngine {
         SurrogateEngine {
             meter: UsageMeter::new(),
             caches,
+            faults: None,
+        }
+    }
+
+    /// [`SurrogateEngine::with_caches`] with a chaos plan attached: every
+    /// completion consults the plan and may come back truncated, mangled,
+    /// refused, or as a retryable [`PceError`].
+    pub fn with_caches_and_faults(caches: LlmCaches, faults: Option<FaultPlan>) -> Self {
+        SurrogateEngine {
+            meter: UsageMeter::new(),
+            caches,
+            faults,
         }
     }
 
@@ -57,12 +92,17 @@ impl SurrogateEngine {
         &self.caches
     }
 
+    /// The attached chaos plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
     /// Complete a request.
     ///
-    /// # Panics
-    /// Panics when the requested model is not in the zoo — the harness
-    /// only ever evaluates Table-1 models.
-    pub fn complete(&self, req: &ChatRequest) -> ChatResponse {
+    /// Fails with [`PceError::Spec`] when the requested model is not in
+    /// the zoo, or with an injected [`PceError::Timeout`]/[`PceError::Io`]
+    /// when an attached chaos plan fires a transport-level fault.
+    pub fn complete(&self, req: &ChatRequest) -> Result<ChatResponse, PceError> {
         self.complete_prompt(&req.model, &req.prompt, req.sampling, req.seed)
     }
 
@@ -71,25 +111,68 @@ impl SurrogateEngine {
     /// Identical to [`SurrogateEngine::complete`] on the equivalent
     /// [`ChatRequest`], but lets bulk callers share one rendered prompt
     /// across the whole model zoo without cloning it per request.
-    ///
-    /// # Panics
-    /// Panics when the requested model is not in the zoo.
     pub fn complete_prompt(
         &self,
         model_name: &str,
         prompt: &str,
         sampling: Option<SamplingParams>,
         seed: u64,
-    ) -> ChatResponse {
-        let spec =
-            model(model_name).unwrap_or_else(|| panic!("model '{model_name}' is not in the zoo"));
+    ) -> Result<ChatResponse, PceError> {
+        self.complete_attempt(model_name, prompt, sampling, seed, 0)
+            .0
+    }
+
+    /// One attempt of a completion: resolve the model, consult the chaos
+    /// plan, answer, corrupt if injected, and bill. Returns the result
+    /// plus whether a fault was injected into this attempt.
+    ///
+    /// Attempt 0 with no plan attached is byte- and billing-identical to
+    /// the historical always-succeeds path.
+    fn complete_attempt(
+        &self,
+        model_name: &str,
+        prompt: &str,
+        sampling: Option<SamplingParams>,
+        seed: u64,
+        attempt: u32,
+    ) -> (Result<ChatResponse, PceError>, bool) {
+        let Some(spec) = model(model_name) else {
+            return (
+                Err(PceError::spec(format!(
+                    "model '{model_name}' is not in the zoo"
+                ))),
+                false,
+            );
+        };
         let sampling = sampling.unwrap_or_default();
         // One pass over the prompt text: the fingerprint keys the parse
-        // caches and seeds the noise stream.
+        // caches, seeds the noise stream, and addresses the fault plan.
         let prompt_fp = prompt_fingerprint(prompt);
-        let mut rng = NoiseStream::new(&spec.name, prompt_fp, seed, sampling);
+        let fault = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.draw(model_name, prompt_fp, seed, attempt));
+        match fault {
+            Some(FaultKind::Timeout) => {
+                return (
+                    Err(PceError::Timeout {
+                        ms: SIMULATED_DEADLINE_MS,
+                    }),
+                    true,
+                );
+            }
+            Some(FaultKind::Transient) => {
+                return (Err(PceError::io("injected connection reset")), true);
+            }
+            _ => {}
+        }
 
-        let (text, trace) = if is_rq1_prompt(prompt) {
+        // Retried attempts are salted so the re-asked completion differs
+        // from the first answer reproducibly.
+        let eff_seed = attempt_seed(seed, attempt);
+        let mut rng = NoiseStream::new(&spec.name, prompt_fp, eff_seed, sampling);
+
+        let (clean, trace) = if is_rq1_prompt(prompt) {
             self.answer_rq1(spec, prompt, prompt_fp, &mut rng)
         } else {
             let parsed = self.caches.classify_fp(prompt, prompt_fp);
@@ -110,6 +193,16 @@ impl SurrogateEngine {
             }
         };
 
+        // Body-level faults corrupt the clean answer but are still billed:
+        // a truncated or refused hosted response costs real tokens.
+        let (text, trace, injected) = match fault.and_then(|k| corrupt_text(k, &clean)) {
+            Some(body) => {
+                let kind = fault.map(|k| format!("{k:?}")).unwrap_or_default();
+                (body, Some(format!("injected fault: {kind}")), true)
+            }
+            None => (clean, trace, false),
+        };
+
         let usage = Usage {
             prompt_tokens: approx_tokens(prompt),
             completion_tokens: 1 + spec.reasoning_tokens,
@@ -121,7 +214,101 @@ impl SurrogateEngine {
             usage,
         };
         self.meter.record(&resp, spec.input_cost, spec.output_cost);
-        resp
+        (Ok(resp), injected)
+    }
+
+    /// Complete a request under a bounded [`RetryPolicy`], classifying the
+    /// final answer and keeping the per-request response ledger.
+    ///
+    /// The loop retries retryable failures (injected timeouts and
+    /// transient errors, unparseable answers) with deterministic backoff,
+    /// salting each retry's seed so re-asked completions differ
+    /// reproducibly; refusals and spec errors terminate immediately.
+    /// Backoff is recorded, never slept.
+    pub fn complete_with_retry(
+        &self,
+        model_name: &str,
+        prompt: &str,
+        sampling: Option<SamplingParams>,
+        seed: u64,
+        policy: &RetryPolicy,
+    ) -> CompletionOutcome {
+        // Jitter fingerprint: the request identity, independent of attempt.
+        let mut fp = pce_memo::Fnv::new();
+        fp.str(model_name);
+        fp.u64(prompt_fingerprint(prompt));
+        fp.u64(seed);
+        let fingerprint = fp.finish();
+
+        let mut acc = ResponseAccounting::new();
+        let mut injected_any = false;
+        let mut last_response: Option<ChatResponse> = None;
+        let mut last_error = PceError::io("no attempts were made");
+
+        for attempt in 0..policy.max_attempts() {
+            if attempt > 0 {
+                acc.retries += 1;
+                acc.backoff_ms += policy.backoff_ms(fingerprint, attempt);
+            }
+            let (result, injected) =
+                self.complete_attempt(model_name, prompt, sampling, seed, attempt);
+            injected_any |= injected;
+            match result {
+                Ok(resp) => {
+                    if is_refusal_text(&resp.text) {
+                        acc.refused += 1;
+                        acc.injected += injected_any as u64;
+                        return CompletionOutcome {
+                            error: Some(PceError::Refusal {
+                                model: resp.model.clone(),
+                            }),
+                            response: Some(resp),
+                            verdict: None,
+                            accounting: acc,
+                        };
+                    }
+                    match Boundedness::parse(&resp.text) {
+                        Some(verdict) => {
+                            if attempt == 0 {
+                                acc.valid += 1;
+                            } else {
+                                acc.retried_valid += 1;
+                            }
+                            acc.injected += injected_any as u64;
+                            return CompletionOutcome {
+                                response: Some(resp),
+                                verdict: Some(verdict),
+                                error: None,
+                                accounting: acc,
+                            };
+                        }
+                        None => {
+                            last_error = PceError::parse(format!(
+                                "response '{}' is not a recognizable answer",
+                                truncate_for_error(&resp.text)
+                            ));
+                            last_response = Some(resp);
+                        }
+                    }
+                }
+                Err(e) => {
+                    let terminal = !e.retryable();
+                    last_error = e;
+                    if terminal {
+                        break;
+                    }
+                }
+            }
+        }
+
+        acc.invalid += 1;
+        acc.injected += injected_any as u64;
+        CompletionOutcome {
+            response: last_response,
+            verdict: None,
+            error: Some(last_error),
+            accounting: acc,
+        }
     }
 
     fn answer_rq1(
@@ -313,6 +500,15 @@ pub fn complete_with_spec_on(
     text
 }
 
+/// Clip a response body for embedding in an error message.
+fn truncate_for_error(text: &str) -> &str {
+    let mut end = text.len().min(40);
+    while !text.is_char_boundary(end) {
+        end -= 1;
+    }
+    &text[..end]
+}
+
 /// Whether the prompt's example section carries *real* code (RQ3) rather
 /// than pseudo-code (RQ2): real examples contain actual kernel syntax
 /// before the "Now, analyze" marker.
@@ -393,7 +589,9 @@ mod tests {
         let mut correct = 0;
         for (i, item) in suite.items.iter().enumerate() {
             let prompt = render_rq1_prompt(&suite, i, shots, cot);
-            let resp = engine.complete(&ChatRequest::new(model_name, prompt).with_seed(i as u64));
+            let resp = engine
+                .complete(&ChatRequest::new(model_name, prompt).with_seed(i as u64))
+                .unwrap();
             if Boundedness::parse(&resp.text) == Some(item.truth) {
                 correct += 1;
             }
@@ -424,7 +622,10 @@ mod tests {
         let prompt = render_rq1_prompt(&suite, 0, 2, false);
         let engine = SurrogateEngine::new();
         let req = ChatRequest::new("gpt-4o-mini", prompt).with_seed(7);
-        assert_eq!(engine.complete(&req).text, engine.complete(&req).text);
+        assert_eq!(
+            engine.complete(&req).unwrap().text,
+            engine.complete(&req).unwrap().text
+        );
     }
 
     #[test]
@@ -440,11 +641,13 @@ mod tests {
             let mut correct = 0;
             for (i, item) in suite.items.iter().enumerate() {
                 let prompt = render_rq1_prompt(&suite, i, 2, false);
-                let resp = engine.complete(
-                    &ChatRequest::new("gemini-2.0-flash-001", prompt)
-                        .with_sampling(sampling)
-                        .with_seed(i as u64),
-                );
+                let resp = engine
+                    .complete(
+                        &ChatRequest::new("gemini-2.0-flash-001", prompt)
+                            .with_sampling(sampling)
+                            .with_seed(i as u64),
+                    )
+                    .unwrap();
                 if Boundedness::parse(&resp.text) == Some(item.truth) {
                     correct += 1;
                 }
@@ -460,8 +663,12 @@ mod tests {
         let engine = SurrogateEngine::new();
         let suite = generate_rq1_suite(5, 1);
         let prompt = render_rq1_prompt(&suite, 0, 2, false);
-        engine.complete(&ChatRequest::new("o1", prompt.clone()));
-        engine.complete(&ChatRequest::new("gpt-4o-mini", prompt));
+        engine
+            .complete(&ChatRequest::new("o1", prompt.clone()))
+            .unwrap();
+        engine
+            .complete(&ChatRequest::new("gpt-4o-mini", prompt))
+            .unwrap();
         let snap = engine.meter().snapshot();
         assert!(
             snap["o1"].0.completion_tokens > 1000,
@@ -495,8 +702,10 @@ mod tests {
             for model_name in ["o3-mini", "gpt-4o-mini", "o1", "gemini-2.0-flash-001"] {
                 for seed in 0..8 {
                     let req = ChatRequest::new(model_name, prompt.clone()).with_seed(seed);
-                    let fresh = SurrogateEngine::new().complete(&req);
-                    let warm = SurrogateEngine::with_caches(shared.clone()).complete(&req);
+                    let fresh = SurrogateEngine::new().complete(&req).unwrap();
+                    let warm = SurrogateEngine::with_caches(shared.clone())
+                        .complete(&req)
+                        .unwrap();
                     assert_eq!(fresh, warm, "{model_name} seed {seed}");
                 }
             }
@@ -505,8 +714,10 @@ mod tests {
         let prompt = render_rq1_prompt(&suite, 3, 2, true);
         let req = ChatRequest::new("gpt-4o-mini", prompt).with_seed(11);
         assert_eq!(
-            SurrogateEngine::new().complete(&req),
-            SurrogateEngine::with_caches(shared.clone()).complete(&req)
+            SurrogateEngine::new().complete(&req).unwrap(),
+            SurrogateEngine::with_caches(shared.clone())
+                .complete(&req)
+                .unwrap()
         );
         // The shared bundle actually collapsed work across those engines.
         assert!(shared.analysis_counters().hits > 0);
@@ -518,13 +729,16 @@ mod tests {
         let suite = generate_rq1_suite(5, 1);
         let prompt = render_rq1_prompt(&suite, 0, 2, false);
         let engine = SurrogateEngine::new();
-        let via_req = engine.complete(
-            &ChatRequest::new("o3-mini", prompt.clone())
-                .with_sampling(SamplingParams::default())
-                .with_seed(3),
-        );
-        let via_parts =
-            engine.complete_prompt("o3-mini", &prompt, Some(SamplingParams::default()), 3);
+        let via_req = engine
+            .complete(
+                &ChatRequest::new("o3-mini", prompt.clone())
+                    .with_sampling(SamplingParams::default())
+                    .with_seed(3),
+            )
+            .unwrap();
+        let via_parts = engine
+            .complete_prompt("o3-mini", &prompt, Some(SamplingParams::default()), 3)
+            .unwrap();
         assert_eq!(via_req, via_parts);
         // Both billed.
         assert_eq!(
@@ -536,15 +750,23 @@ mod tests {
     #[test]
     fn unparseable_prompt_falls_back_to_prior() {
         let engine = SurrogateEngine::new();
-        let resp = engine.complete(&ChatRequest::new("gpt-4o-mini", "hello there"));
+        let resp = engine
+            .complete(&ChatRequest::new("gpt-4o-mini", "hello there"))
+            .unwrap();
         assert!(Boundedness::parse(&resp.text).is_some());
         assert_eq!(resp.trace.as_deref(), Some("prior-only guess"));
     }
 
     #[test]
-    #[should_panic(expected = "not in the zoo")]
-    fn unknown_model_panics() {
-        SurrogateEngine::new().complete(&ChatRequest::new("gpt-6", "hi"));
+    fn unknown_model_is_a_spec_error() {
+        let err = SurrogateEngine::new()
+            .complete(&ChatRequest::new("gpt-6", "hi"))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid spec: model 'gpt-6' is not in the zoo"
+        );
+        assert!(!err.retryable());
     }
 
     #[test]
@@ -573,9 +795,145 @@ mod tests {
             };
             render_classify_prompt(&req, ShotStyle::ZeroShot)
         };
-        let cb = engine.complete(&ChatRequest::new("o3-mini-high", mk("burn", cb_src)));
-        let bb = engine.complete(&ChatRequest::new("o3-mini-high", mk("copy", bb_src)));
+        let cb = engine
+            .complete(&ChatRequest::new("o3-mini-high", mk("burn", cb_src)))
+            .unwrap();
+        let bb = engine
+            .complete(&ChatRequest::new("o3-mini-high", mk("copy", bb_src)))
+            .unwrap();
         assert_eq!(cb.text, "Compute");
         assert_eq!(bb.text, "Bandwidth");
+    }
+
+    #[test]
+    fn chaos_free_retry_matches_single_shot() {
+        let suite = generate_rq1_suite(6, 1);
+        let engine = SurrogateEngine::new();
+        for i in 0..suite.items.len() {
+            let prompt = render_rq1_prompt(&suite, i, 2, false);
+            let single = engine
+                .complete_prompt("gpt-4o-mini", &prompt, None, i as u64)
+                .unwrap();
+            let retried = engine.complete_with_retry(
+                "gpt-4o-mini",
+                &prompt,
+                None,
+                i as u64,
+                &RetryPolicy::default(),
+            );
+            assert_eq!(retried.response.as_ref().unwrap().text, single.text);
+            assert_eq!(retried.verdict, Boundedness::parse(&single.text));
+            assert_eq!(retried.accounting.valid, 1);
+            assert!(!retried.accounting.faulted());
+            assert!(retried.accounting.balanced());
+        }
+    }
+
+    #[test]
+    fn inactive_plan_is_billing_identical_to_no_plan() {
+        let suite = generate_rq1_suite(4, 2);
+        let prompt = render_rq1_prompt(&suite, 0, 2, false);
+        let clean = SurrogateEngine::new();
+        let zeroed = SurrogateEngine::with_caches_and_faults(
+            LlmCaches::new(),
+            Some(FaultPlan::uniform(42, 0.0)),
+        );
+        let a = clean.complete_prompt("o3-mini", &prompt, None, 5).unwrap();
+        let b = zeroed.complete_prompt("o3-mini", &prompt, None, 5).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(clean.meter().snapshot(), zeroed.meter().snapshot());
+    }
+
+    #[test]
+    fn injected_faults_balance_and_recover() {
+        let suite = generate_rq1_suite(80, 7);
+        let plan = FaultPlan::uniform(42, 0.3);
+        let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
+        let mut acc = ResponseAccounting::new();
+        for i in 0..suite.items.len() {
+            let prompt = render_rq1_prompt(&suite, i, 2, false);
+            let out = engine.complete_with_retry(
+                "gpt-4o-mini",
+                &prompt,
+                None,
+                i as u64,
+                &RetryPolicy::default(),
+            );
+            assert!(out.accounting.balanced(), "{:?}", out.accounting);
+            acc.merge(&out.accounting);
+        }
+        assert_eq!(acc.total(), suite.items.len() as u64);
+        assert!(acc.injected > 0, "{acc:?}");
+        assert!(acc.recovered() > 0, "{acc:?}");
+        assert!(acc.balanced(), "{acc:?}");
+        // Recorded backoff accompanies every retry burst.
+        assert!(acc.retries > 0 && acc.backoff_ms > 0, "{acc:?}");
+    }
+
+    #[test]
+    fn chaos_outcomes_are_deterministic() {
+        let suite = generate_rq1_suite(20, 3);
+        let run = || {
+            let plan = FaultPlan::uniform(9, 0.4);
+            let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
+            (0..suite.items.len())
+                .map(|i| {
+                    let prompt = render_rq1_prompt(&suite, i, 2, false);
+                    engine.complete_with_retry(
+                        "o3-mini",
+                        &prompt,
+                        None,
+                        i as u64,
+                        &RetryPolicy::default(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn certain_timeouts_exhaust_retries_into_invalid() {
+        let plan = FaultPlan {
+            seed: 1,
+            rates: pce_fault::FaultRates {
+                timeout: 1.0,
+                ..pce_fault::FaultRates::zero()
+            },
+        };
+        let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
+        let err = engine.complete_prompt("o1", "hello", None, 0).unwrap_err();
+        assert_eq!(err.to_string(), "request timed out after 30000 ms");
+        let out = engine.complete_with_retry("o1", "hello", None, 0, &RetryPolicy::default());
+        assert_eq!(out.accounting.invalid, 1);
+        assert_eq!(out.accounting.injected, 1);
+        assert_eq!(
+            out.accounting.retries,
+            RetryPolicy::default().max_retries as u64
+        );
+        assert!(out.verdict.is_none());
+        assert!(out.accounting.balanced());
+        // Timeouts are transport-level: nothing was billed.
+        assert!(engine.meter().snapshot().is_empty());
+    }
+
+    #[test]
+    fn refusals_terminate_without_retry() {
+        let plan = FaultPlan {
+            seed: 1,
+            rates: pce_fault::FaultRates {
+                refuse: 1.0,
+                ..pce_fault::FaultRates::zero()
+            },
+        };
+        let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
+        let out = engine.complete_with_retry("o1", "hello", None, 0, &RetryPolicy::default());
+        assert_eq!(out.accounting.refused, 1);
+        assert_eq!(out.accounting.retries, 0);
+        assert_eq!(
+            out.error.as_ref().unwrap().to_string(),
+            "model 'o1' refused to answer"
+        );
+        assert!(out.accounting.balanced());
     }
 }

@@ -28,6 +28,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod api;
 pub mod cache;
@@ -38,6 +39,6 @@ pub mod zoo;
 
 pub use api::{ChatRequest, ChatResponse, SamplingParams, Usage, UsageMeter};
 pub use cache::{CacheCounters, LlmCaches};
-pub use engine::SurrogateEngine;
+pub use engine::{CompletionOutcome, SurrogateEngine};
 pub use finetune::{FineTuneConfig, FineTuneJob, FineTunedModel};
 pub use zoo::{model_zoo, Capability, ModelSpec};

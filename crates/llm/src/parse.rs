@@ -2,11 +2,19 @@
 //! the prompt text, exactly as a hosted model must.
 //!
 //! Everything here is tolerant, hand-rolled text scanning — no panics on
-//! malformed prompts, just `None`s that degrade the engine's answer to a
-//! prior-driven guess (which is also what real models do with garbled
-//! context).
+//! malformed prompts. The top-level parsers return structured
+//! [`PceError::Parse`] failures naming the first missing marker, which the
+//! engine degrades to a prior-driven guess (which is also what real models
+//! do with garbled context) and the response accounting can count.
 
 use std::collections::BTreeMap;
+
+use pce_fault::PceError;
+
+/// The `Parse` error for a marker the scanner could not find.
+fn missing(marker: &str) -> PceError {
+    PceError::parse(format!("missing '{marker}' marker"))
+}
 
 /// A parsed RQ1 roofline question.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,13 +68,20 @@ fn number_after(text: &str, marker: &str, from: usize) -> Option<(f64, usize)> {
 }
 
 /// Parse the **last** RQ1 question in a (possibly few-shot) prompt.
-pub fn parse_rq1(prompt: &str) -> Option<Rq1Question> {
-    let last_q = prompt.rfind("Question:")?;
+///
+/// The `Err` names the first marker the scanner could not find.
+pub fn parse_rq1(prompt: &str) -> Result<Rq1Question, PceError> {
+    let last_q = prompt
+        .rfind("Question:")
+        .ok_or_else(|| missing("Question:"))?;
     let q = &prompt[last_q..];
-    let (bandwidth_gbs, _) = number_after(q, "max bandwidth of", 0)?;
-    let (peak_gflops, _) = number_after(q, "peak performance of", 0)?;
-    let (ai, _) = number_after(q, "Arithmetic Intensity of", 0)?;
-    Some(Rq1Question {
+    let (bandwidth_gbs, _) =
+        number_after(q, "max bandwidth of", 0).ok_or_else(|| missing("max bandwidth of"))?;
+    let (peak_gflops, _) =
+        number_after(q, "peak performance of", 0).ok_or_else(|| missing("peak performance of"))?;
+    let (ai, _) = number_after(q, "Arithmetic Intensity of", 0)
+        .ok_or_else(|| missing("Arithmetic Intensity of"))?;
+    Ok(Rq1Question {
         bandwidth_gbs,
         peak_gflops,
         ai,
@@ -85,23 +100,38 @@ pub fn has_cot_examples(prompt: &str) -> bool {
 }
 
 /// Parse a classification prompt (Fig. 4 template).
-pub fn parse_classify(prompt: &str) -> Option<ClassifyQuestion> {
-    let at = prompt.find("Classify the ")?;
+///
+/// The `Err` names the first marker the scanner could not find.
+pub fn parse_classify(prompt: &str) -> Result<ClassifyQuestion, PceError> {
+    let at = prompt
+        .find("Classify the ")
+        .ok_or_else(|| missing("Classify the "))?;
     let rest = &prompt[at + "Classify the ".len()..];
     let mut words = rest.split_whitespace();
-    let language = words.next()?.to_string();
+    let language = words
+        .next()
+        .ok_or_else(|| PceError::parse("missing language after 'Classify the '"))?
+        .to_string();
     // "... kernel called NAME as Bandwidth or Compute bound."
-    let name_at = rest.find("kernel called ")? + "kernel called ".len();
+    let name_at = rest
+        .find("kernel called ")
+        .ok_or_else(|| missing("kernel called "))?
+        + "kernel called ".len();
     let kernel_name: String = rest[name_at..]
         .split_whitespace()
-        .next()?
+        .next()
+        .ok_or_else(|| PceError::parse("missing kernel name after 'kernel called '"))?
         .trim_matches(|c: char| !c.is_ascii_alphanumeric() && c != '_')
         .to_string();
 
-    let (peak_sp, _) = number_after(prompt, "peak single-precision performance of", 0)?;
-    let (peak_dp, _) = number_after(prompt, "peak double-precision performance of", 0)?;
-    let (peak_int, _) = number_after(prompt, "peak integer performance of", 0)?;
-    let (bandwidth, _) = number_after(prompt, "max bandwidth of", 0)?;
+    let (peak_sp, _) = number_after(prompt, "peak single-precision performance of", 0)
+        .ok_or_else(|| missing("peak single-precision performance of"))?;
+    let (peak_dp, _) = number_after(prompt, "peak double-precision performance of", 0)
+        .ok_or_else(|| missing("peak double-precision performance of"))?;
+    let (peak_int, _) = number_after(prompt, "peak integer performance of", 0)
+        .ok_or_else(|| missing("peak integer performance of"))?;
+    let (bandwidth, _) =
+        number_after(prompt, "max bandwidth of", 0).ok_or_else(|| missing("max bandwidth of"))?;
 
     let args = {
         let marker = "command-line arguments: ";
@@ -119,14 +149,14 @@ pub fn parse_classify(prompt: &str) -> Option<ClassifyQuestion> {
     };
 
     let src_marker = "Below is the source code";
-    let src_at = prompt.find(src_marker)?;
+    let src_at = prompt.find(src_marker).ok_or_else(|| missing(src_marker))?;
     let source = prompt[src_at..]
         .split_once(":\n")
         .map(|x| x.1)
         .unwrap_or("")
         .to_string();
 
-    Some(ClassifyQuestion {
+    Ok(ClassifyQuestion {
         language,
         kernel_name,
         peak_sp,
@@ -262,10 +292,57 @@ mod tests {
     }
 
     #[test]
-    fn malformed_prompts_parse_to_none() {
-        assert!(parse_rq1("what is a roofline?").is_none());
-        assert!(parse_classify("classify this please").is_none());
+    fn malformed_prompts_parse_to_structured_errors() {
+        assert!(parse_rq1("what is a roofline?").is_err());
+        assert!(parse_classify("classify this please").is_err());
         assert!(bind_args_to_params("int main() {}", &[]).is_empty());
+    }
+
+    #[test]
+    fn rq1_errors_name_the_first_missing_marker() {
+        let e = parse_rq1("no question here").unwrap_err();
+        assert_eq!(e.to_string(), "parse error: missing 'Question:' marker");
+        let e = parse_rq1("Question: about rooflines").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing 'max bandwidth of' marker"
+        );
+        let e = parse_rq1("Question: max bandwidth of 10 GB/s").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing 'peak performance of' marker"
+        );
+        let e = parse_rq1("Question: max bandwidth of 10 GB/s, peak performance of 20 GFLOP/s")
+            .unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing 'Arithmetic Intensity of' marker"
+        );
+    }
+
+    #[test]
+    fn classify_errors_name_the_first_missing_marker() {
+        let e = parse_classify("no template at all").unwrap_err();
+        assert_eq!(e.to_string(), "parse error: missing 'Classify the ' marker");
+        let e = parse_classify("Classify the ").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing language after 'Classify the '"
+        );
+        let e = parse_classify("Classify the CUDA thing").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing 'kernel called ' marker"
+        );
+        let e = parse_classify("Classify the CUDA kernel called saxpy as bound.").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error: missing 'peak single-precision performance of' marker"
+        );
+        // All parse errors are retryable: a salted retry can repair a
+        // malformed response.
+        assert!(e.retryable());
+        assert_eq!(e.kind(), "parse");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! observable difference between a hit and a miss is time.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
 use std::collections::HashMap;

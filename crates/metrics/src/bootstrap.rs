@@ -49,7 +49,9 @@ impl BootstrapInterval {
 /// every draw, producing a zero-width interval that carries no
 /// uncertainty information — both are caller bugs better surfaced as an
 /// absent interval than as a panic (empty) or a confident-looking lie
-/// (singleton).
+/// (singleton). Also returns `None` when the statistic produces NaN on
+/// the full sample or any resample (e.g. a ratio whose bucket the
+/// invalid-response filter emptied) — a NaN bound is not an interval.
 ///
 /// # Panics
 /// Panics on zero resamples or a level outside (0, 1) — those are
@@ -72,6 +74,9 @@ pub fn bootstrap_ci<T, F: Fn(&[&T]) -> f64>(
 
     let full: Vec<&T> = items.iter().collect();
     let estimate = statistic(&full);
+    if estimate.is_nan() {
+        return None;
+    }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(resamples);
     let mut scratch: Vec<&T> = Vec::with_capacity(items.len());
@@ -81,9 +86,13 @@ pub fn bootstrap_ci<T, F: Fn(&[&T]) -> f64>(
             let idx = rng.gen_range(0..items.len());
             scratch.push(&items[idx]);
         }
-        stats.push(statistic(&scratch));
+        let stat = statistic(&scratch);
+        if stat.is_nan() {
+            return None;
+        }
+        stats.push(stat);
     }
-    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistic produced NaN"));
+    stats.sort_by(|a, b| a.total_cmp(b));
 
     let alpha = 1.0 - level;
     let lo_idx = ((alpha / 2.0) * resamples as f64).floor() as usize;
@@ -167,6 +176,21 @@ mod tests {
     #[should_panic(expected = "at least one resample")]
     fn zero_resamples_still_panics() {
         bootstrap_ci(&[true, false], accuracy, 0, 0.95, 0);
+    }
+
+    #[test]
+    fn nan_statistic_returns_none_instead_of_panicking() {
+        // A ratio over a bucket the invalid-response filter can empty:
+        // resamples drawing only `false` items divide zero by zero.
+        let ratio = |xs: &[&bool]| {
+            let hits = xs.iter().filter(|&&&x| x).count() as f64;
+            hits / hits // NaN whenever the resample has no `true` item
+        };
+        let mostly_false: Vec<bool> = (0..20).map(|i| i == 0).collect();
+        assert_eq!(bootstrap_ci(&mostly_false, ratio, 400, 0.95, 3), None);
+        // NaN on the full-sample estimate alone is also absorbed.
+        let all_false = vec![false; 20];
+        assert_eq!(bootstrap_ci(&all_false, ratio, 10, 0.95, 3), None);
     }
 
     #[test]

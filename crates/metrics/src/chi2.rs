@@ -5,6 +5,7 @@
 //! The paper uses this test to show that temperature/top_p changes have no
 //! statistically significant effect on predicted outcomes (§3.2).
 
+use pce_fault::PceError;
 use serde::{Deserialize, Serialize};
 
 /// Result of a chi-squared independence test.
@@ -31,14 +32,16 @@ impl Chi2Result {
 /// dropped (they carry no information and would divide by zero).
 ///
 /// # Errors
-/// Returns `Err` when fewer than two informative rows or columns remain.
-pub fn chi_squared_independence(table: &[Vec<u64>]) -> Result<Chi2Result, String> {
+/// Returns a [`PceError::Spec`] when fewer than two informative rows or
+/// columns remain — a degenerate table is a study-design problem, not a
+/// data condition worth panicking over.
+pub fn chi_squared_independence(table: &[Vec<u64>]) -> Result<Chi2Result, PceError> {
     if table.is_empty() {
-        return Err("empty contingency table".to_string());
+        return Err(PceError::spec("empty contingency table"));
     }
     let ncols = table[0].len();
     if table.iter().any(|row| row.len() != ncols) {
-        return Err("ragged contingency table".to_string());
+        return Err(PceError::spec("ragged contingency table"));
     }
 
     let row_sums: Vec<u64> = table.iter().map(|r| r.iter().sum()).collect();
@@ -47,13 +50,15 @@ pub fn chi_squared_independence(table: &[Vec<u64>]) -> Result<Chi2Result, String
         .collect();
     let grand: u64 = row_sums.iter().sum();
     if grand == 0 {
-        return Err("all-zero contingency table".to_string());
+        return Err(PceError::spec("all-zero contingency table"));
     }
 
     let live_rows: Vec<usize> = (0..table.len()).filter(|&r| row_sums[r] > 0).collect();
     let live_cols: Vec<usize> = (0..ncols).filter(|&c| col_sums[c] > 0).collect();
     if live_rows.len() < 2 || live_cols.len() < 2 {
-        return Err("need at least a 2x2 table with nonzero marginals".to_string());
+        return Err(PceError::spec(
+            "need at least a 2x2 contingency table with nonzero marginals",
+        ));
     }
 
     let grand_f = grand as f64;
@@ -253,5 +258,30 @@ mod tests {
         assert!(chi_squared_independence(&[vec![0, 0], vec![0, 0]]).is_err());
         assert!(chi_squared_independence(&[vec![1], vec![2]]).is_err());
         assert!(chi_squared_independence(&[vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn degenerate_tables_name_the_problem() {
+        let cases: [(&[Vec<u64>], &str); 4] = [
+            (&[], "invalid spec: empty contingency table"),
+            (
+                &[vec![1, 2], vec![3]],
+                "invalid spec: ragged contingency table",
+            ),
+            (
+                &[vec![0, 0], vec![0, 0]],
+                "invalid spec: all-zero contingency table",
+            ),
+            (
+                &[vec![1, 2]],
+                "invalid spec: need at least a 2x2 contingency table with nonzero marginals",
+            ),
+        ];
+        for (table, message) in cases {
+            let err = chi_squared_independence(table).unwrap_err();
+            assert_eq!(err.to_string(), message);
+            assert_eq!(err.kind(), "spec");
+            assert!(!err.retryable(), "a bad table never fixes itself");
+        }
     }
 }

@@ -8,6 +8,7 @@
 //! machine class it actually targets. A [`SpecPair`] bundles one spec of
 //! each class for language-aware routing.
 
+use pce_fault::PceError;
 use serde::{Deserialize, Serialize};
 
 use crate::model::Roofline;
@@ -162,6 +163,14 @@ impl std::fmt::Display for PresetLookupError {
 }
 
 impl std::error::Error for PresetLookupError {}
+
+impl From<PresetLookupError> for PceError {
+    /// A failed preset lookup is a spec problem: the name the user gave
+    /// does not resolve, and retrying would not help.
+    fn from(err: PresetLookupError) -> PceError {
+        PceError::spec(err.to_string())
+    }
+}
 
 impl HardwareSpec {
     /// The paper's target device: NVIDIA GeForce RTX 3080 10 GB (§2.1).
@@ -537,12 +546,12 @@ impl SpecPair {
     /// Rejects specs whose [`SpecClass`] does not match their slot, so a
     /// CPU roofline can never silently label the CUDA half (or vice
     /// versa).
-    pub fn new(gpu: HardwareSpec, cpu: HardwareSpec) -> Result<SpecPair, String> {
+    pub fn new(gpu: HardwareSpec, cpu: HardwareSpec) -> Result<SpecPair, PceError> {
         if gpu.class != SpecClass::Gpu {
-            return Err(format!("'{}' is not a GPU spec", gpu.name));
+            return Err(PceError::spec(format!("'{}' is not a GPU spec", gpu.name)));
         }
         if cpu.class != SpecClass::Cpu {
-            return Err(format!("'{}' is not a CPU spec", cpu.name));
+            return Err(PceError::spec(format!("'{}' is not a CPU spec", cpu.name)));
         }
         Ok(SpecPair { gpu, cpu })
     }
@@ -803,11 +812,38 @@ mod tests {
         assert!(SpecPair::new(HardwareSpec::rtx_3080(), HardwareSpec::a100()).is_err());
         assert!(SpecPair::new(HardwareSpec::rtx_3080(), HardwareSpec::grace()).is_ok());
 
+        // The errors are typed, name the offending spec, and are final.
+        let err = SpecPair::new(HardwareSpec::epyc_9654(), HardwareSpec::grace()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid spec: 'AMD EPYC 9654' is not a GPU spec"
+        );
+        assert_eq!(err.kind(), "spec");
+        assert!(!err.retryable());
+        let err = SpecPair::new(HardwareSpec::rtx_3080(), HardwareSpec::a100()).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid spec: 'NVIDIA A100-SXM4-40GB' is not a CPU spec"
+        );
+
         let swapped = SpecPair {
             gpu: HardwareSpec::grace(),
             cpu: HardwareSpec::rtx_3080(),
         };
         assert_eq!(swapped.validate().len(), 2);
+    }
+
+    #[test]
+    fn preset_lookup_errors_convert_to_spec_errors() {
+        let err: PceError = HardwareSpec::preset_by_name("no-such-chip")
+            .unwrap_err()
+            .into();
+        assert_eq!(err.kind(), "spec");
+        assert!(err
+            .to_string()
+            .contains("unknown hardware spec 'no-such-chip'"));
+        assert!(err.to_string().contains("known presets:"));
+        assert!(!err.retryable());
     }
 
     #[test]

@@ -119,7 +119,7 @@ pub fn sample_curve(
     let bp = roof.balance_point();
     if bp > ai_min && bp < ai_max {
         points.push((bp, roof.peak_gops));
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
     RooflineCurve {
         class,

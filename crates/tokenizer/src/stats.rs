@@ -48,7 +48,7 @@ impl TokenStats {
 pub fn token_quartiles(counts: &[usize]) -> TokenStats {
     assert!(!counts.is_empty(), "cannot summarize an empty sample");
     let mut sorted: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let q = |p: f64| -> f64 {
         let idx = p * (sorted.len() - 1) as f64;
         let lo = idx.floor() as usize;
@@ -65,7 +65,7 @@ pub fn token_quartiles(counts: &[usize]) -> TokenStats {
         q1: q(0.25),
         median: q(0.5),
         q3: q(0.75),
-        max: *sorted.last().unwrap(),
+        max: *sorted.last().expect("sample verified non-empty above"),
         mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
     }
 }

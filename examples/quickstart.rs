@@ -53,7 +53,9 @@ fn main() {
     );
     let engine = SurrogateEngine::new();
     for model in ["o3-mini-high", "gpt-4o-mini"] {
-        let resp = engine.complete(&ChatRequest::new(model, prompt.clone()));
+        let resp = engine
+            .complete(&ChatRequest::new(model, prompt.clone()))
+            .expect("fault-free engine answers known models");
         println!(
             "{model:>14} answers: {:<10} (correct: {})",
             resp.text,

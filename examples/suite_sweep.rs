@@ -23,13 +23,13 @@ fn main() {
         suite.cpu_specs.len(),
         suite.cells().len()
     );
-    let outcome = run_suite(&suite);
+    let outcome = run_suite(&suite).expect("smoke matrix axes are valid");
 
     println!(
         "{:<28} {:<28} {:>9} {:>9} {:>8} {:>10}",
         "GPU", "CPU", "SP ridge", "CPU SP rg", "dataset", "best RQ2"
     );
-    for s in &outcome.specs {
+    for s in outcome.completed() {
         let best = s
             .table
             .rows

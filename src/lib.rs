@@ -12,6 +12,8 @@
 //! * [`tokenizer`] — the byte-level BPE tokenizer,
 //! * [`static_analysis`] — source-level arithmetic-intensity estimation,
 //! * [`metrics`] — accuracy / macro-F1 / MCC and statistical tests,
+//! * [`fault`] — the chaos layer: typed errors, seeded fault plans,
+//!   bounded retries, and response accounting,
 //! * [`llm`] — the surrogate LLM substrate (model zoo, engines, fine-tuning),
 //! * [`prompt`] — prompt construction for RQ1–RQ3,
 //! * [`dataset`] — the profiling → labeling → pruning → balancing pipeline,
@@ -20,9 +22,11 @@
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub use pce_core as core;
 pub use pce_dataset as dataset;
+pub use pce_fault as fault;
 pub use pce_gpu_sim as gpu_sim;
 pub use pce_kernels as kernels;
 pub use pce_llm as llm;

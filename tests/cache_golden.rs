@@ -51,13 +51,13 @@ fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
     let suite = tiny_suite();
 
     // --- Reference: cold caches (run_suite builds a private fresh bundle).
-    let cold = render(&run_suite(&suite));
+    let cold = render(&run_suite(&suite).unwrap());
 
     // --- One shared bundle, exercised twice: the first run populates it,
     // the second is served by the profile memo and analysis caches.
     let caches = SuiteCaches::new();
-    let warm_first = render(&run_suite_cached(&suite, &caches));
-    let warm_second = render(&run_suite_cached(&suite, &caches));
+    let warm_first = render(&run_suite_cached(&suite, &caches).unwrap());
+    let warm_second = render(&run_suite_cached(&suite, &caches).unwrap());
     assert_eq!(cold, warm_first, "cold vs freshly-populated bundle");
     assert_eq!(cold, warm_second, "cold vs fully-warm bundle");
     let report = caches.report();
@@ -67,7 +67,7 @@ fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
     assert!(report.classify_parse.hits > 0, "{report:?}");
 
     // --- The timed runner is instrumentation-only.
-    let (timed, bench) = run_suite_timed(&suite, &SuiteCaches::new());
+    let (timed, bench) = run_suite_timed(&suite, &SuiteCaches::new()).unwrap();
     assert_eq!(cold, render(&timed), "timed vs untimed");
     assert_eq!(bench.specs, suite.specs.len());
 
@@ -91,11 +91,11 @@ fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
     // on a cold one, forced through genuinely different rayon budgets.
     std::env::set_var("RAYON_NUM_THREADS", "4");
     assert_eq!(rayon::current_num_threads(), 4);
-    let warm_parallel = render(&run_suite_cached(&suite, &caches));
-    let cold_parallel = render(&run_suite(&suite));
+    let warm_parallel = render(&run_suite_cached(&suite, &caches).unwrap());
+    let cold_parallel = render(&run_suite(&suite).unwrap());
     std::env::set_var("RAYON_NUM_THREADS", "1");
     assert_eq!(rayon::current_num_threads(), 1);
-    let warm_serial = render(&run_suite_cached(&suite, &caches));
+    let warm_serial = render(&run_suite_cached(&suite, &caches).unwrap());
     std::env::remove_var("RAYON_NUM_THREADS");
 
     assert_eq!(warm_parallel, warm_serial, "warm: 4 threads vs 1 thread");

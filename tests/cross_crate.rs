@@ -38,7 +38,7 @@ fn classify_prompts_round_trip_for_every_corpus_program() {
         for style in [ShotStyle::ZeroShot, ShotStyle::FewShot] {
             let prompt = render_classify_prompt(&req, style);
             let parsed = parse_classify(&prompt)
-                .unwrap_or_else(|| panic!("{}: prompt failed to parse", p.id));
+                .unwrap_or_else(|e| panic!("{}: prompt failed to parse: {e}", p.id));
             assert_eq!(parsed.language, p.language.label(), "{}", p.id);
             assert_eq!(parsed.kernel_name, p.kernel_name, "{}", p.id);
             assert_eq!(parsed.bandwidth, hw.bandwidth_gbs, "{}", p.id);

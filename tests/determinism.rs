@@ -29,7 +29,7 @@ fn render_everything() -> String {
         HardwareSpec::a100(),
         HardwareSpec::mi250x(),
     ]);
-    let outcome = run_suite(&suite);
+    let outcome = run_suite(&suite).expect("smoke suite axes are valid");
 
     format!(
         "{}\n{}\n{}\n{}",

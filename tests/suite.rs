@@ -31,10 +31,10 @@ fn small_suite() -> Suite {
 fn shared_build_is_equivalent_to_independent_rebuilds() {
     let suite = small_suite();
     let shared = SharedBuild::build(&suite);
-    let outcome = run_suite_shared(&suite, &shared);
-    assert_eq!(outcome.specs.len(), suite.cells().len());
+    let outcome = run_suite_shared(&suite, &shared).unwrap();
+    assert_eq!(outcome.completed().len(), suite.cells().len());
 
-    for (pair, spec_out) in suite.cells().iter().zip(&outcome.specs) {
+    for (pair, spec_out) in suite.cells().iter().zip(outcome.completed()) {
         // Rebuild this cell completely from scratch: fresh corpus, fresh
         // tokenizer training, fresh RQ1 runs.
         let study = suite.base.with_specs(pair.clone());
@@ -56,14 +56,14 @@ fn shared_build_is_equivalent_to_independent_rebuilds() {
 fn corpus_and_tokenizer_are_built_once_and_shared() {
     let suite = small_suite();
     let shared = SharedBuild::build(&suite);
-    let outcome = run_suite_shared(&suite, &shared);
+    let outcome = run_suite_shared(&suite, &shared).unwrap();
 
     // Every cell's funnel must carry the *shared* tokenization verbatim —
     // the raw token distribution comes straight from `shared.tokenized`,
     // not from a per-cell retrain.
     assert!(shared.tokenized.raw_token_stats.is_some());
     assert_eq!(shared.tokenized.token_counts.len(), shared.corpus.len());
-    for spec_out in &outcome.specs {
+    for spec_out in outcome.completed() {
         assert_eq!(
             spec_out.funnel.raw_token_stats,
             shared.tokenized.raw_token_stats,
@@ -85,7 +85,7 @@ fn corpus_and_tokenizer_are_built_once_and_shared() {
 #[test]
 fn each_language_flips_along_its_own_axis() {
     let suite = small_suite();
-    let outcome = run_suite_shared(&suite, &SharedBuild::build(&suite));
+    let outcome = run_suite_shared(&suite, &SharedBuild::build(&suite)).unwrap();
     let flips = &outcome.flips;
 
     for section in &flips.by_language {
