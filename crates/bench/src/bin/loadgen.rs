@@ -1,0 +1,265 @@
+//! Load generator / latency bench for the prediction service.
+//!
+//! Replays a seeded job mix (uniform over corpus kernels, hardware
+//! presets, zoo models, and shot styles) against an in-process
+//! [`PredictionService`] and reports:
+//!
+//! * a **bounded-vs-unbounded identity check** — the same jobs run
+//!   against a tightly bounded cache bundle (evictions forced) and an
+//!   unbounded one must produce byte-identical response transcripts,
+//! * **p50/p99 per-job latency and sustained predictions/sec** at 1, 4,
+//!   and all-core `RAYON_NUM_THREADS`, written to `BENCH_serve.json`
+//!   (override with `--out <path>`) — the regression baseline CI guards.
+//!
+//! Per-job latency is its admission batch's wall-clock: every job in a
+//! batch completes when the batch does, which is what a caller blocked on
+//! the line protocol actually observes.
+//!
+//! `--jobs <n>` (default 120), `--seed <s>`, `--batch <n>` (default 24),
+//! and `--cache-bytes <n>` (default 256 KiB per cache, small enough to
+//! evict under the default mix) control the run; `--smoke` uses the
+//! reduced-scale corpus. `--emit-jobs` prints the job mix as protocol
+//! lines (plus `stats` and `quit`) and exits — CI pipes that into the
+//! `serve` bin to smoke the stdin front end.
+
+use std::time::Instant;
+
+use pce_bench::{flag_value, study_from_args};
+use pce_core::caches::CacheBudget;
+use pce_core::serve::{IdentityCheck, Job, PredictionService, ServeBenchReport, ThreadPoint};
+use pce_core::study::Study;
+use pce_llm::model_zoo;
+use pce_prompt::ShotStyle;
+use pce_roofline::HardwareSpec;
+
+/// Deterministic splitmix64 stream for the job mix.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next() % items.len() as u64) as usize]
+    }
+}
+
+fn usize_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn u64_flag(args: &[String], flag: &str, default: u64) -> u64 {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("{flag} needs an integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// The seeded job mix: uniform over kernels × presets × models × styles.
+fn job_mix(study: &Study, jobs: usize, seed: u64) -> Vec<Job> {
+    let programs = pce_kernels::build_corpus(&study.corpus);
+    let kernel_ids: Vec<String> = programs.into_iter().map(|p| p.id).collect();
+    // Preset names carry spaces ("AMD Instinct MI250X"); the protocol is
+    // whitespace-tokenized, so emit dash slugs — `preset_by_name` resolves
+    // them format-insensitively.
+    let slug = |name: &str| -> String {
+        let mut out = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                out.push(c.to_ascii_lowercase());
+            } else if !out.ends_with('-') {
+                out.push('-');
+            }
+        }
+        out.trim_matches('-').to_string()
+    };
+    let specs: Vec<String> = HardwareSpec::gpu_presets()
+        .into_iter()
+        .chain(HardwareSpec::cpu_presets())
+        .map(|hw| slug(&hw.name))
+        .collect();
+    let models: Vec<String> = model_zoo().iter().map(|m| m.name.clone()).collect();
+    let mut mix = Mix(seed);
+    (0..jobs)
+        .map(|i| Job {
+            id: format!("j{i}"),
+            kernel: mix.pick(&kernel_ids).clone(),
+            spec: mix.pick(&specs).clone(),
+            model: mix.pick(&models).clone(),
+            style: if mix.next().is_multiple_of(2) {
+                ShotStyle::ZeroShot
+            } else {
+                ShotStyle::FewShot
+            },
+        })
+        .collect()
+}
+
+/// Render one job as its protocol line.
+fn job_line(job: &Job) -> String {
+    format!(
+        "predict id={} kernel={} spec={} model={} shots={}",
+        job.id,
+        job.kernel,
+        job.spec,
+        job.model,
+        match job.style {
+            ShotStyle::ZeroShot => "zero",
+            ShotStyle::FewShot => "few",
+        }
+    )
+}
+
+/// Replay `jobs` in admission batches, returning (responses, per-job
+/// latencies in ms, total wall ms).
+fn replay(service: &PredictionService, jobs: &[Job], batch: usize) -> (Vec<String>, Vec<f64>, f64) {
+    let mut responses = Vec::with_capacity(jobs.len());
+    let mut latencies = Vec::with_capacity(jobs.len());
+    let run_start = Instant::now();
+    for chunk in jobs.chunks(batch) {
+        let t0 = Instant::now();
+        let lines = service.predict_batch(chunk);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        latencies.extend(std::iter::repeat_n(ms, lines.len()));
+        responses.extend(lines);
+    }
+    let total_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    (responses, latencies, total_ms)
+}
+
+/// Percentile over an unsorted latency sample (nearest-rank on a sorted
+/// copy).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let study = study_from_args();
+    let jobs_n = usize_flag(&args, "--jobs", 120);
+    let seed = u64_flag(&args, "--seed", 0x10ad);
+    let batch = usize_flag(&args, "--batch", 24);
+    let cache_bytes = u64_flag(&args, "--cache-bytes", 256 * 1024);
+    let out = flag_value(&args, "--out")
+        .map(str::to_string)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let jobs = job_mix(&study, jobs_n, seed);
+
+    if args.iter().any(|a| a == "--emit-jobs") {
+        for job in &jobs {
+            println!("{}", job_line(job));
+        }
+        println!("stats");
+        println!("quit");
+        return;
+    }
+
+    // Identity check: bounded (evicting) vs unbounded transcripts must be
+    // byte-identical — evictions only cost recomputation, never answers.
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let bounded = PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)));
+    let (bounded_lines, _, _) = replay(&bounded, &jobs, batch);
+    let report = bounded.caches().report();
+    let (evictions, resident) = (report.total_evictions(), report.total_resident_bytes());
+    let unbounded = PredictionService::new(study.clone(), None);
+    let (unbounded_lines, _, _) = replay(&unbounded, &jobs, batch);
+    let matched = bounded_lines == unbounded_lines;
+    eprintln!(
+        "identity: bounded==unbounded {matched}, evictions={evictions}, resident_bytes={resident}"
+    );
+    if !matched {
+        eprintln!("bounded and unbounded transcripts diverged");
+        std::process::exit(2);
+    }
+    if evictions == 0 {
+        eprintln!(
+            "warning: no evictions at --cache-bytes {cache_bytes}; \
+             lower the cap for a meaningful identity check"
+        );
+    }
+
+    // Latency sweep: fresh (cold, bounded) service per thread count; the
+    // transcripts must also agree across thread counts.
+    let all = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize, 4, all];
+    counts.sort_unstable();
+    counts.dedup();
+    let mut points = Vec::new();
+    for threads in counts {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let service =
+            PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)));
+        let (lines, latencies, total_ms) = replay(&service, &jobs, batch);
+        if lines != bounded_lines {
+            eprintln!("transcript at {threads} threads diverged from the 4-thread run");
+            std::process::exit(2);
+        }
+        let point = ThreadPoint {
+            threads,
+            p50_ms: percentile(&latencies, 50.0),
+            p99_ms: percentile(&latencies, 99.0),
+            predictions_per_sec: jobs.len() as f64 / (total_ms / 1e3),
+            total_ms,
+        };
+        eprintln!(
+            "threads={} p50={:.2}ms p99={:.2}ms rate={:.1}/s",
+            point.threads, point.p50_ms, point.p99_ms, point.predictions_per_sec
+        );
+        points.push(point);
+    }
+
+    let report = ServeBenchReport {
+        jobs: jobs.len(),
+        batch,
+        seed,
+        cache_bytes,
+        identity: IdentityCheck {
+            bounded_equals_unbounded: matched,
+            evictions,
+            resident_bytes: resident,
+        },
+        threads: points,
+    };
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("cannot write {out}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote {out}");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize report: {e}");
+            std::process::exit(2);
+        }
+    }
+}

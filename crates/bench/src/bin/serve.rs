@@ -1,0 +1,135 @@
+//! Prediction-as-a-service front end: answer (kernel, hardware, model,
+//! shot-style) jobs over the line protocol, batched and fanned out across
+//! the rayon pool.
+//!
+//! By default the service reads commands from stdin and writes responses
+//! to stdout; `--listen <addr:port>` serves the same protocol over TCP
+//! instead (one thread per connection, all connections sharing one
+//! service and its caches).
+//!
+//! Protocol (one command per line):
+//!
+//! ```text
+//! predict id=<token> kernel=<corpus-id> spec=<preset> model=<zoo-name> shots=<zero|few>
+//! stats
+//! quit
+//! ```
+//!
+//! `--smoke` serves the reduced-scale corpus; `--batch <n>` sets the
+//! admission batch size (default 32). Caches are *bounded* by default
+//! (64 MiB per cache layer); `--cache-bytes <n>` overrides the per-cache
+//! capacity and `--unbounded` disables bounding entirely. `--chaos
+//! <seed>` / `--fault-rate <r>` inject deterministic engine faults, as in
+//! the `suite` bin. Responses carry no timing, so transcripts are
+//! byte-reproducible across batch sizes, thread counts, and cache bounds.
+
+use std::io::{BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+use pce_bench::{chaos_from_args, flag_value, study_from_args};
+use pce_core::caches::CacheBudget;
+use pce_core::serve::PredictionService;
+
+/// Default per-cache capacity: generous enough that a normal smoke
+/// workload never evicts, small enough to bound a long-lived process.
+const DEFAULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
+
+fn budget_from_args(args: &[String]) -> Option<CacheBudget> {
+    if args.iter().any(|a| a == "--unbounded") {
+        return None;
+    }
+    let bytes = match flag_value(args, "--cache-bytes") {
+        None => DEFAULT_CACHE_BYTES,
+        Some(v) => match v.parse::<u64>() {
+            Ok(b) => b,
+            Err(_) => {
+                eprintln!("--cache-bytes needs an integer byte count, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    Some(CacheBudget::uniform(bytes))
+}
+
+fn usize_flag(args: &[String], flag: &str, default: usize) -> usize {
+    match flag_value(args, flag) {
+        None => default,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut study = study_from_args();
+    study.chaos = match chaos_from_args(&args) {
+        Ok(chaos) => chaos,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let batch = usize_flag(&args, "--batch", 32);
+    let budget = budget_from_args(&args);
+    let service = Arc::new(PredictionService::new(study, budget));
+    eprintln!(
+        "serving {} kernels (batch={batch}, caches {})",
+        service.programs().len(),
+        if budget.is_some() {
+            "bounded"
+        } else {
+            "unbounded"
+        },
+    );
+
+    match flag_value(&args, "--listen") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            if let Err(e) = service.serve_lines(stdin.lock(), stdout.lock(), batch) {
+                eprintln!("serve failed: {e}");
+                std::process::exit(2);
+            }
+        }
+        Some(addr) => {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("cannot listen on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            eprintln!("listening on {addr}");
+            for stream in listener.incoming() {
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("accept failed: {e}");
+                        continue;
+                    }
+                };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let reader = match stream.try_clone() {
+                        Ok(r) => BufReader::new(r),
+                        Err(e) => {
+                            eprintln!("cannot clone connection: {e}");
+                            return;
+                        }
+                    };
+                    let mut writer = stream;
+                    if let Err(e) = service.serve_lines(reader, &mut writer, batch) {
+                        eprintln!("connection failed: {e}");
+                    }
+                    let _ = writer.flush();
+                });
+            }
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub fn timings_path_from_args(args: &[String]) -> Option<String> {
 }
 
 /// The value following `flag`, when present and not itself a flag.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     let at = args.iter().position(|a| a == flag)?;
     args.get(at + 1)
         .filter(|a| !a.starts_with("--"))

@@ -23,9 +23,31 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use pce_gpu_sim::SimCaches;
-use pce_llm::LlmCaches;
+use pce_gpu_sim::{SimBudget, SimCaches};
+use pce_llm::{LlmBudget, LlmCaches};
 use pce_memo::CacheCounters;
+
+/// Byte budgets for every memo layer a suite (or service) threads its
+/// caches through. The default is fully unbounded — one-shot batch runs
+/// cannot leak; long-lived services should bound everything (see
+/// [`CacheBudget::uniform`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheBudget {
+    /// Simulator layers (body summaries, profiles).
+    pub sim: SimBudget,
+    /// Engine layers (static analyses, prompt parses).
+    pub llm: LlmBudget,
+}
+
+impl CacheBudget {
+    /// Bound every layer to the same per-cache capacity in bytes.
+    pub fn uniform(bytes_per_cache: u64) -> CacheBudget {
+        CacheBudget {
+            sim: SimBudget::uniform(bytes_per_cache),
+            llm: LlmBudget::uniform(bytes_per_cache),
+        }
+    }
+}
 
 /// The shared cache bundle one suite run (or several) threads through
 /// every layer.
@@ -39,9 +61,21 @@ pub struct SuiteCaches {
 }
 
 impl SuiteCaches {
-    /// A fresh, empty bundle.
+    /// A fresh, empty, unbounded bundle.
     pub fn new() -> SuiteCaches {
         SuiteCaches::default()
+    }
+
+    /// A fresh bundle with every layer bounded per `budget`. Purity makes
+    /// evictions unobservable in the rendered artifacts — bounded and
+    /// unbounded runs stay byte-identical; only the eviction and
+    /// resident-byte counters differ.
+    pub fn with_budget(budget: CacheBudget) -> SuiteCaches {
+        SuiteCaches {
+            sim: SimCaches::with_budget(budget.sim),
+            llm: LlmCaches::with_budget(budget.llm),
+            prompt_renders: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Record `n` classification-prompt renders (called by the Table-1
@@ -88,6 +122,30 @@ pub struct CacheReport {
     pub prompt_renders: u64,
 }
 
+impl CacheReport {
+    /// Every per-layer counter, paired with its layer name.
+    pub fn layers(&self) -> [(&'static str, CacheCounters); 5] {
+        [
+            ("summary", self.summary),
+            ("profile", self.profile),
+            ("analysis", self.analysis),
+            ("classify_parse", self.classify_parse),
+            ("rq1_parse", self.rq1_parse),
+        ]
+    }
+
+    /// Total evictions across every layer.
+    pub fn total_evictions(&self) -> u64 {
+        self.layers().iter().map(|(_, c)| c.evictions).sum()
+    }
+
+    /// Total resident bytes across every layer (0 for unbounded bundles,
+    /// which do no size accounting).
+    pub fn total_resident_bytes(&self) -> u64 {
+        self.layers().iter().map(|(_, c)| c.resident_bytes).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +173,8 @@ mod tests {
             "prompt_renders",
             "hits",
             "misses",
+            "evictions",
+            "resident_bytes",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

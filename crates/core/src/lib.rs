@@ -39,11 +39,13 @@ pub mod caches;
 pub mod experiments;
 pub mod figures;
 pub mod report;
+pub mod serve;
 pub mod study;
 pub mod suite;
 pub mod table1;
 
-pub use caches::{CacheReport, SuiteCaches};
+pub use caches::{CacheBudget, CacheReport, SuiteCaches};
+pub use serve::{Command, Job, PredictionService};
 pub use study::{ChaosConfig, Study, StudyData};
 pub use suite::{
     run_suite, run_suite_cached, run_suite_timed, CellOutcome, Suite, SuiteBench, SuiteOutcome,

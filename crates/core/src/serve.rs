@@ -1,0 +1,503 @@
+//! Prediction-as-a-service: a batched request loop in front of the
+//! surrogate engine.
+//!
+//! The suite answers one fixed experiment matrix and exits; this module
+//! turns the same substrate into something that can be *queried*. A
+//! [`PredictionService`] owns a corpus, a (bounded) [`SuiteCaches`]
+//! bundle, and a [`SurrogateEngine`], and answers jobs of the form
+//! *(kernel, hardware, model, shot-style)* over a line protocol:
+//!
+//! ```text
+//! predict id=j1 kernel=cuda-saxpy-0000 spec=rtx-3080 model=gpt-4o shots=zero
+//! stats
+//! quit
+//! ```
+//!
+//! Each `predict` answers with one line —
+//! `ok id=... prediction=Compute truth=Bandwidth correct=false` on
+//! success, `err id=... kind=spec error="..."` on a bad job — and
+//! `stats` reports job/cache/ledger totals. Responses never carry
+//! timing, so a transcript is byte-reproducible across thread counts,
+//! batch sizes, and cache bounds.
+//!
+//! ## Admission batching
+//!
+//! Jobs are admitted in batches ([`PredictionService::predict_batch`],
+//! driven by [`PredictionService::serve_lines`]): within a batch, jobs
+//! that share a *(kernel, spec, shot-style)* group profile the kernel
+//! and render the Fig.-4 prompt **once**, exactly as the suite's Table-1
+//! assembly amortizes renders across the model zoo. Groups and then
+//! per-job completions fan out across the rayon pool.
+//!
+//! ## Determinism
+//!
+//! A job's sampling seed is derived from its *(kernel, spec, model,
+//! shot-style)* identity — never from its request id, arrival order, or
+//! batch position — so the same job always produces the same response
+//! line no matter how the stream is batched or which worker runs it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+
+use pce_fault::{PceError, ResponseAccounting, RetryPolicy};
+use pce_gpu_sim::Profiler;
+use pce_kernels::{build_corpus, Program};
+use pce_llm::{SamplingParams, SurrogateEngine};
+use pce_memo::Fnv;
+use pce_prompt::{render_classify_prompt, ClassifyRequest, ShotStyle};
+use pce_roofline::{classify_joint, Boundedness, HardwareSpec};
+
+use crate::caches::{CacheBudget, SuiteCaches};
+use crate::study::Study;
+
+/// The committed `BENCH_serve.json` shape: the `loadgen` bin's latency /
+/// throughput baseline plus its bounded-vs-unbounded identity check.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeBenchReport {
+    /// Jobs replayed per measured run.
+    pub jobs: usize,
+    /// Admission batch size.
+    pub batch: usize,
+    /// Job-mix seed.
+    pub seed: u64,
+    /// Per-cache byte capacity of the bounded runs.
+    pub cache_bytes: u64,
+    /// Bounded-vs-unbounded determinism check.
+    pub identity: IdentityCheck,
+    /// One latency/throughput point per measured thread count.
+    pub threads: Vec<ThreadPoint>,
+}
+
+/// Result of replaying the same job mix against a bounded and an
+/// unbounded service.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IdentityCheck {
+    /// Whether the two response transcripts were byte-identical.
+    pub bounded_equals_unbounded: bool,
+    /// Evictions the bounded run performed (must be > 0 for the check to
+    /// mean anything).
+    pub evictions: u64,
+    /// Resident cache bytes in the bounded service after the run.
+    pub resident_bytes: u64,
+}
+
+/// Latency/throughput at one `RAYON_NUM_THREADS` setting. Per-job latency
+/// is its admission batch's wall-clock (every job in a batch completes
+/// when the batch does).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ThreadPoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Median per-job latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-job latency in milliseconds.
+    pub p99_ms: f64,
+    /// Sustained predictions per second over the whole run.
+    pub predictions_per_sec: f64,
+    /// Total wall-clock of the run in milliseconds.
+    pub total_ms: f64,
+}
+
+/// One prediction job, as parsed from a `predict` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Caller-chosen request id, echoed verbatim in the response.
+    pub id: String,
+    /// Corpus program id, e.g. `cuda-saxpy-0000`.
+    pub kernel: String,
+    /// Hardware preset name (resolved case/format-insensitively).
+    pub spec: String,
+    /// Model-zoo model name.
+    pub model: String,
+    /// Zero- or few-shot prompting.
+    pub style: ShotStyle,
+}
+
+/// One parsed protocol line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// A prediction job.
+    Predict(Job),
+    /// Report job/cache/ledger totals.
+    Stats,
+    /// Flush pending jobs and stop serving.
+    Quit,
+}
+
+impl Command {
+    /// Parse one protocol line (leading/trailing whitespace ignored).
+    pub fn parse(line: &str) -> Result<Command, PceError> {
+        let mut tokens = line.split_whitespace();
+        let verb = tokens.next().unwrap_or("");
+        match verb {
+            "stats" => Ok(Command::Stats),
+            "quit" => Ok(Command::Quit),
+            "predict" => {
+                let mut fields: BTreeMap<&str, &str> = BTreeMap::new();
+                for tok in tokens {
+                    let (k, v) = tok.split_once('=').ok_or_else(|| {
+                        PceError::parse(format!("expected key=value, got '{tok}'"))
+                    })?;
+                    if fields.insert(k, v).is_some() {
+                        return Err(PceError::parse(format!("duplicate field '{k}'")));
+                    }
+                }
+                let take = |fields: &BTreeMap<&str, &str>, k: &str| -> Result<String, PceError> {
+                    fields
+                        .get(k)
+                        .map(|v| v.to_string())
+                        .ok_or_else(|| PceError::parse(format!("predict needs {k}=...")))
+                };
+                let style = match take(&fields, "shots")?.as_str() {
+                    "zero" => ShotStyle::ZeroShot,
+                    "few" => ShotStyle::FewShot,
+                    other => {
+                        return Err(PceError::parse(format!(
+                            "shots must be zero|few, got '{other}'"
+                        )))
+                    }
+                };
+                for k in fields.keys() {
+                    if !matches!(*k, "id" | "kernel" | "spec" | "model" | "shots") {
+                        return Err(PceError::parse(format!("unknown field '{k}'")));
+                    }
+                }
+                Ok(Command::Predict(Job {
+                    id: take(&fields, "id")?,
+                    kernel: take(&fields, "kernel")?,
+                    spec: take(&fields, "spec")?,
+                    model: take(&fields, "model")?,
+                    style,
+                }))
+            }
+            other => Err(PceError::parse(format!(
+                "unknown command '{other}' (expected predict|stats|quit)"
+            ))),
+        }
+    }
+}
+
+/// Collapse a (possibly multi-line) error display into one protocol-safe
+/// line: responses are one line each, but some error sources (the
+/// hardware-preset catalog listing, for one) render across many.
+fn one_line(msg: impl std::fmt::Display) -> String {
+    msg.to_string().replace('\n', "; ").replace('"', "'")
+}
+
+/// Profiled-and-rendered state shared by every job in one
+/// (kernel, spec, shot-style) admission group.
+struct GroupPrep {
+    prompt: String,
+    truth: Boundedness,
+}
+
+/// A long-lived prediction service over one study's corpus.
+pub struct PredictionService {
+    study: Study,
+    programs: Vec<Program>,
+    index: HashMap<String, usize>,
+    caches: SuiteCaches,
+    engine: SurrogateEngine,
+    policy: RetryPolicy,
+    jobs: AtomicU64,
+    ledger: Mutex<ResponseAccounting>,
+}
+
+impl PredictionService {
+    /// Build a service: generate the study's corpus, stand up a cache
+    /// bundle (bounded per `budget`, unbounded when `None`), and wire the
+    /// engine through it — chaos included if the study carries any.
+    pub fn new(study: Study, budget: Option<CacheBudget>) -> PredictionService {
+        let programs = build_corpus(&study.corpus);
+        let index = programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.id.clone(), i))
+            .collect();
+        let caches = match budget {
+            Some(b) => SuiteCaches::with_budget(b),
+            None => SuiteCaches::new(),
+        };
+        let engine = SurrogateEngine::with_caches_and_faults(
+            caches.llm.clone(),
+            study.chaos.as_ref().map(|c| c.plan.clone()),
+        );
+        let policy = study.chaos.as_ref().map(|c| c.retry).unwrap_or_default();
+        PredictionService {
+            study,
+            programs,
+            index,
+            caches,
+            engine,
+            policy,
+            jobs: AtomicU64::new(0),
+            ledger: Mutex::new(ResponseAccounting::new()),
+        }
+    }
+
+    /// The corpus this service answers jobs against, in corpus order.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// The cache bundle (for effectiveness reporting).
+    pub fn caches(&self) -> &SuiteCaches {
+        &self.caches
+    }
+
+    /// Total `predict` jobs admitted so far.
+    pub fn jobs_served(&self) -> u64 {
+        self.jobs.load(Ordering::Relaxed)
+    }
+
+    /// Whether the response ledger balances (every completion accounted
+    /// exactly once across valid/retried/invalid/refused).
+    pub fn ledger_balanced(&self) -> bool {
+        self.ledger.lock().map(|l| l.balanced()).unwrap_or(false)
+    }
+
+    /// The one-line `stats` response.
+    pub fn stats_line(&self) -> String {
+        let report = self.caches.report();
+        let (hits, misses) = report
+            .layers()
+            .iter()
+            .fold((0, 0), |(h, m), (_, c)| (h + c.hits, m + c.misses));
+        format!(
+            "stats jobs={} cache_hits={hits} cache_misses={misses} evictions={} resident_bytes={} ledger_balanced={}",
+            self.jobs_served(),
+            report.total_evictions(),
+            report.total_resident_bytes(),
+            self.ledger_balanced(),
+        )
+    }
+
+    /// The deterministic sampling seed of one job: a fingerprint of its
+    /// *(kernel, spec, model, shot-style)* identity folded into the study
+    /// seed. Request ids and arrival order never enter.
+    fn job_seed(&self, job: &Job) -> u64 {
+        let mut h = Fnv::new();
+        h.str(&job.kernel);
+        h.str(&job.spec);
+        h.str(&job.model);
+        h.u64(matches!(job.style, ShotStyle::FewShot) as u64);
+        self.study.seed ^ h.finish()
+    }
+
+    /// Resolve a job against the corpus, preset catalog, and model zoo.
+    fn resolve(&self, job: &Job) -> Result<(usize, HardwareSpec), PceError> {
+        let prog = *self
+            .index
+            .get(&job.kernel)
+            .ok_or_else(|| PceError::spec(format!("unknown kernel '{}'", job.kernel)))?;
+        let spec = HardwareSpec::preset_by_name(&job.spec)
+            .map_err(|e| PceError::spec(format!("spec '{}': {e}", job.spec)))?;
+        if pce_llm::zoo::model(&job.model).is_none() {
+            return Err(PceError::spec(format!("unknown model '{}'", job.model)));
+        }
+        Ok((prog, spec))
+    }
+
+    /// Answer one admission batch. Responses come back aligned with
+    /// `jobs`, one line each; invalid jobs get `err` lines and cost
+    /// nothing. Jobs sharing a (kernel, spec, shot-style) group profile
+    /// and render once, then completions fan out per job.
+    pub fn predict_batch(&self, jobs: &[Job]) -> Vec<String> {
+        self.jobs.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+
+        // Admission: resolve every job, grouping the valid ones.
+        type GroupKey = (usize, String, bool);
+        let mut resolved: Vec<Result<GroupKey, String>> = Vec::with_capacity(jobs.len());
+        let mut groups: BTreeMap<GroupKey, HardwareSpec> = BTreeMap::new();
+        for job in jobs {
+            match self.resolve(job) {
+                Ok((prog, spec)) => {
+                    let key = (
+                        prog,
+                        spec.name.clone(),
+                        matches!(job.style, ShotStyle::FewShot),
+                    );
+                    groups.entry(key.clone()).or_insert(spec);
+                    resolved.push(Ok(key));
+                }
+                Err(e) => resolved.push(Err(format!(
+                    "err id={} kind={} error=\"{}\"",
+                    job.id,
+                    e.kind(),
+                    one_line(&e)
+                ))),
+            }
+        }
+
+        // Shared phase: one profile + ground truth + rendered prompt per
+        // group, in parallel across groups.
+        let group_list: Vec<(GroupKey, HardwareSpec)> = groups.into_iter().collect();
+        let prepared: BTreeMap<GroupKey, GroupPrep> = group_list
+            .par_iter()
+            .map(|(key, spec)| {
+                let p = &self.programs[key.0];
+                let profile = Profiler::new(spec.clone())
+                    .with_caches(self.caches.sim.clone())
+                    .profile_shared(&p.ir, &p.launch);
+                let truth = classify_joint(spec, &profile.counts).label;
+                let style = if key.2 {
+                    ShotStyle::FewShot
+                } else {
+                    ShotStyle::ZeroShot
+                };
+                let req = ClassifyRequest {
+                    language: p.language.label().to_string(),
+                    kernel_name: p.kernel_name.clone(),
+                    hardware: spec.clone(),
+                    geometry: p.launch.geometry_string(),
+                    args: p.args.clone(),
+                    source: p.source.clone(),
+                };
+                let prompt = render_classify_prompt(&req, style);
+                self.caches.count_prompt_renders(1);
+                (key.clone(), GroupPrep { prompt, truth })
+            })
+            .collect();
+
+        // Per-job phase: completions fan out across the pool.
+        let sampling = SamplingParams::default();
+        let answered: Vec<(String, ResponseAccounting)> = jobs
+            .par_iter()
+            .enumerate()
+            .map(|(i, job)| {
+                let key = match &resolved[i] {
+                    Ok(key) => key,
+                    Err(line) => return (line.clone(), ResponseAccounting::new()),
+                };
+                let prep = &prepared[key];
+                let out = self.engine.complete_with_retry(
+                    &job.model,
+                    &prep.prompt,
+                    Some(sampling),
+                    self.job_seed(job),
+                    &self.policy,
+                );
+                let prediction = match out.verdict {
+                    Some(b) => b.answer_token(),
+                    None => "invalid",
+                };
+                let correct = out.verdict == Some(prep.truth);
+                let line = format!(
+                    "ok id={} kernel={} model={} prediction={prediction} truth={} correct={correct}",
+                    job.id,
+                    job.kernel,
+                    job.model,
+                    prep.truth.answer_token(),
+                );
+                (line, out.accounting)
+            })
+            .collect();
+
+        let mut lines = Vec::with_capacity(answered.len());
+        if let Ok(mut ledger) = self.ledger.lock() {
+            for (line, acc) in answered {
+                ledger.merge(&acc);
+                lines.push(line);
+            }
+        } else {
+            lines.extend(answered.into_iter().map(|(line, _)| line));
+        }
+        lines
+    }
+
+    /// Drive the line protocol: read commands from `reader`, write
+    /// response lines to `writer`. `predict` jobs accumulate until the
+    /// admission batch fills (or a `stats`/`quit`/EOF forces a flush), so
+    /// responses always come back in request order.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+        batch: usize,
+    ) -> std::io::Result<()> {
+        let batch = batch.max(1);
+        let mut pending: Vec<Job> = Vec::new();
+        let flush = |pending: &mut Vec<Job>, writer: &mut W| -> std::io::Result<()> {
+            for line in self.predict_batch(pending) {
+                writeln!(writer, "{line}")?;
+            }
+            pending.clear();
+            Ok(())
+        };
+        for line in reader.lines() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match Command::parse(trimmed) {
+                Ok(Command::Predict(job)) => {
+                    pending.push(job);
+                    if pending.len() >= batch {
+                        flush(&mut pending, &mut writer)?;
+                    }
+                }
+                Ok(Command::Stats) => {
+                    flush(&mut pending, &mut writer)?;
+                    writeln!(writer, "{}", self.stats_line())?;
+                }
+                Ok(Command::Quit) => {
+                    flush(&mut pending, &mut writer)?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                Err(e) => {
+                    writeln!(
+                        writer,
+                        "err id=- kind={} error=\"{}\"",
+                        e.kind(),
+                        one_line(&e)
+                    )?;
+                }
+            }
+        }
+        flush(&mut pending, &mut writer)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let cmd = Command::parse(
+            "predict id=j1 kernel=cuda-saxpy-0000 spec=rtx-3080 model=gpt-4o shots=zero",
+        )
+        .expect("valid line");
+        match cmd {
+            Command::Predict(job) => {
+                assert_eq!(job.id, "j1");
+                assert_eq!(job.kernel, "cuda-saxpy-0000");
+                assert_eq!(job.style, ShotStyle::ZeroShot);
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+        assert_eq!(Command::parse("stats"), Ok(Command::Stats));
+        assert_eq!(Command::parse(" quit "), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "explode",
+            "predict id=j1",
+            "predict id=j1 kernel=k spec=s model=m shots=maybe",
+            "predict id=j1 kernel=k spec=s model=m shots=zero bogus=1",
+            "predict id=j1 id=j2 kernel=k spec=s model=m shots=zero",
+            "predict novalue",
+        ] {
+            assert!(Command::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

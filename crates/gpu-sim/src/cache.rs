@@ -32,6 +32,32 @@ use crate::profiler::KernelProfile;
 
 pub use pce_memo::CacheCounters;
 
+/// Byte budgets for the simulator's two memo layers. `None` leaves that
+/// layer unbounded (no size accounting, no eviction) — the right choice
+/// for one-shot batch runs; long-lived services should bound both.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Capacity of the body-summary cache, in approximate bytes.
+    pub summary_bytes: Option<u64>,
+    /// Capacity of the profile cache, in approximate bytes.
+    pub profile_bytes: Option<u64>,
+}
+
+impl SimBudget {
+    /// Bound both layers to the same capacity.
+    pub fn uniform(bytes: u64) -> SimBudget {
+        SimBudget {
+            summary_bytes: Some(bytes),
+            profile_bytes: Some(bytes),
+        }
+    }
+}
+
+/// Approximate heap bytes of a launch-parameter map.
+fn map_bytes(map: &BTreeMap<String, u64>) -> u64 {
+    map.keys().map(|k| k.len() as u64 + 16).sum()
+}
+
 /// Key of one memoized body summary: the hardware-independent inputs of
 /// [`KernelIr::summarize`].
 #[derive(Debug, PartialEq)]
@@ -47,6 +73,22 @@ pub struct SummaryCache {
 }
 
 impl SummaryCache {
+    /// A cache bounded to `bytes` (`None` = unbounded), charging each
+    /// entry its key's IR/params footprint plus the summary itself.
+    fn with_budget(bytes: Option<u64>) -> SummaryCache {
+        let cost = |k: &SummaryKey, v: &BodySummary| {
+            k.ir.approx_bytes()
+                + map_bytes(&k.params)
+                + std::mem::size_of::<BodySummary>() as u64
+                + v.demands.len() as u64 * 64
+        };
+        SummaryCache {
+            memo: match bytes {
+                Some(b) => Memo::bounded(b, cost),
+                None => Memo::new(),
+            },
+        }
+    }
     /// The folded summary of `ir` under `params`, computed at most once
     /// per distinct (IR, params) pair.
     pub fn summary(&self, ir: &KernelIr, params: &BTreeMap<String, u64>) -> Arc<BodySummary> {
@@ -97,6 +139,28 @@ pub struct ProfileCache {
 }
 
 impl ProfileCache {
+    /// A cache bounded to `bytes` (`None` = unbounded), charging each
+    /// entry its full launch-identity key plus the profile.
+    fn with_budget(bytes: Option<u64>) -> ProfileCache {
+        let cost = |k: &ProfileKey, v: &KernelProfile| {
+            k.ir.approx_bytes()
+                + map_bytes(&k.launch.params)
+                + std::mem::size_of::<LaunchConfig>() as u64
+                + std::mem::size_of::<HardwareSpec>() as u64
+                + k.hw.name.len() as u64
+                + std::mem::size_of::<KernelProfile>() as u64
+                + v.kernel.len() as u64
+                + v.hardware.len() as u64
+                + v.buffers.len() as u64 * 64
+        };
+        ProfileCache {
+            memo: match bytes {
+                Some(b) => Memo::bounded(b, cost),
+                None => Memo::new(),
+            },
+        }
+    }
+
     /// The profile for this launch identity, computed at most once.
     pub(crate) fn profile(
         &self,
@@ -162,9 +226,22 @@ struct SimCachesInner {
 }
 
 impl SimCaches {
-    /// A fresh, empty cache bundle.
+    /// A fresh, empty, unbounded cache bundle.
     pub fn new() -> SimCaches {
         SimCaches::default()
+    }
+
+    /// A fresh bundle with each layer bounded per `budget` (`None` fields
+    /// stay unbounded). Bounded and unbounded bundles produce
+    /// byte-identical results — every cached function is pure, so an
+    /// eviction only costs recomputation.
+    pub fn with_budget(budget: SimBudget) -> SimCaches {
+        SimCaches {
+            inner: Arc::new(SimCachesInner {
+                summaries: SummaryCache::with_budget(budget.summary_bytes),
+                profiles: ProfileCache::with_budget(budget.profile_bytes),
+            }),
+        }
     }
 
     /// The shared body-summary cache.
@@ -192,7 +269,9 @@ mod tests {
             .op(Op::fma(Precision::F32))
             .op(Op::store("y", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(1 << 20, 256).with_param("n", 1 << 20);
+        let lc = LaunchConfig::linear(1 << 20, 256)
+            .unwrap()
+            .with_param("n", 1 << 20);
         (k, lc)
     }
 
@@ -215,8 +294,12 @@ mod tests {
     fn summary_cache_distinguishes_params() {
         let caches = SimCaches::new();
         let (k, _) = saxpy();
-        let p1 = LaunchConfig::linear(1 << 10, 256).with_param("n", 1 << 10);
-        let p2 = LaunchConfig::linear(1 << 12, 256).with_param("n", 1 << 12);
+        let p1 = LaunchConfig::linear(1 << 10, 256)
+            .unwrap()
+            .with_param("n", 1 << 10);
+        let p2 = LaunchConfig::linear(1 << 12, 256)
+            .unwrap()
+            .with_param("n", 1 << 12);
         let a = caches.summaries().summary(&k, &p1.params);
         let b = caches.summaries().summary(&k, &p2.params);
         // saxpy's per-thread costs do not depend on n, so the values are

@@ -194,6 +194,19 @@ impl Op {
     pub fn loop_n(trip: Extent, body: Vec<Op>) -> Op {
         Op::Loop { trip, body }
     }
+
+    /// Approximate heap footprint of this op, nested bodies included —
+    /// a cost input for bounded caches, not an exact measure.
+    pub fn approx_bytes(&self) -> u64 {
+        let own = std::mem::size_of::<Op>() as u64;
+        match self {
+            Op::Mem { buffer, .. } => own + buffer.len() as u64,
+            Op::Loop { body, .. } | Op::Guard { body, .. } => {
+                own + body.iter().map(Op::approx_bytes).sum::<u64>()
+            }
+            _ => own,
+        }
+    }
 }
 
 /// A declared global buffer.
@@ -282,6 +295,19 @@ impl KernelIr {
     /// Look up a buffer declaration.
     pub fn buffer(&self, name: &str) -> Option<&BufferDecl> {
         self.buffers.iter().find(|b| b.name == name)
+    }
+
+    /// Approximate heap footprint in bytes (name, buffer table, op tree) —
+    /// the cost input bounded caches charge per cached IR.
+    pub fn approx_bytes(&self) -> u64 {
+        std::mem::size_of::<KernelIr>() as u64
+            + self.name.len() as u64
+            + self
+                .buffers
+                .iter()
+                .map(|b| std::mem::size_of::<BufferDecl>() as u64 + b.name.len() as u64)
+                .sum::<u64>()
+            + self.body.iter().map(Op::approx_bytes).sum::<u64>()
     }
 
     /// Validate internal consistency (all `Mem` ops reference declared

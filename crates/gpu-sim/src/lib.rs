@@ -41,7 +41,9 @@
 //!     .guard_fraction(1.0)
 //!     .build();
 //!
-//! let launch = LaunchConfig::linear(1 << 20, 256).with_param("n", 1 << 20);
+//! let launch = LaunchConfig::linear(1 << 20, 256)
+//!     .expect("valid launch shape")
+//!     .with_param("n", 1 << 20);
 //! let profile = Profiler::new(HardwareSpec::rtx_3080()).profile(&kernel, &launch);
 //! assert!(profile.counts.flops_sp > 0);
 //! assert!(profile.runtime_s > 0.0);
@@ -60,13 +62,13 @@ pub mod timing;
 
 /// Convenient glob-import surface for downstream crates.
 pub mod prelude {
-    pub use crate::cache::{CacheCounters, SimCaches};
+    pub use crate::cache::{CacheCounters, SimBudget, SimCaches};
     pub use crate::ir::{AccessPattern, Extent, IntKind, KernelIr, Op, Precision, SpecialFn};
     pub use crate::launch::{Dim3, LaunchConfig};
     pub use crate::profiler::{KernelProfile, Profiler};
 }
 
-pub use cache::{CacheCounters, SimCaches};
+pub use cache::{CacheCounters, SimBudget, SimCaches};
 pub use ir::{AccessPattern, Extent, IntKind, KernelIr, Op, Precision, SpecialFn};
 pub use launch::{Dim3, LaunchConfig};
 pub use profiler::{KernelProfile, Profiler};

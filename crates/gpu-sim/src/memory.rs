@@ -276,7 +276,7 @@ mod tests {
             .op(Op::load("in", AccessPattern::Coalesced))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         (k, lc)
     }
 
@@ -334,7 +334,7 @@ mod tests {
                 vec![Op::load("table", AccessPattern::Coalesced)],
             ))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let s = k.summarize(&lc.params);
         let res = resolve_memory(&hw(), &k, &lc, &s.demands);
         let footprint = n as f64 * 4.0;
@@ -352,7 +352,7 @@ mod tests {
                 vec![Op::load("big", AccessPattern::Coalesced)],
             ))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let s = k.summarize(&lc.params);
         let res = resolve_memory(&hw(), &k, &lc, &s.demands);
         // Requested 4x footprint; with poor capacity, DRAM reads should be
@@ -370,7 +370,7 @@ mod tests {
                 .buffer("a", 4, Extent::Param("n".into()))
                 .op(Op::load("a", pattern))
                 .build();
-            let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+            let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
             let s = k.summarize(&lc.params);
             resolve_memory(&hw(), &k, &lc, &s.demands).dram_read_bytes
         };
@@ -409,7 +409,7 @@ mod tests {
                 vec![Op::store("acc", AccessPattern::Coalesced)],
             ))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let s = k.summarize(&lc.params);
         let res = resolve_memory(&hw(), &k, &lc, &s.demands);
         // 50 writes per element but only one write-back.

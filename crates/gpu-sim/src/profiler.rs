@@ -256,7 +256,7 @@ mod tests {
             .op(Op::fma(Precision::F32))
             .op(Op::store("y", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         (k, lc)
     }
 
@@ -347,7 +347,7 @@ mod tests {
                 vec![Op::load("t", AccessPattern::Coalesced)],
             ))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let hw = HardwareSpec::rtx_3080();
         let cached = Profiler::new(hw.clone()).with_caches(caches.clone());
         let ablated = Profiler::new(hw).without_cache().with_caches(caches);
@@ -367,7 +367,7 @@ mod tests {
                 vec![Op::load("t", AccessPattern::Coalesced)],
             ))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let hw = HardwareSpec::rtx_3080();
         let cached = Profiler::new(hw.clone()).profile(&k, &lc);
         let uncached = Profiler::new(hw).without_cache().profile(&k, &lc);

@@ -165,7 +165,7 @@ mod tests {
             .op(Op::load("in", AccessPattern::Coalesced))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let t = run(&k, &lc);
         assert_eq!(t.bottleneck(), "dram");
         // 256 MB at ~700 GB/s -> a few hundred microseconds.
@@ -187,7 +187,7 @@ mod tests {
             ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let t = run(&k, &lc);
         assert_eq!(t.bottleneck(), "fp32");
     }
@@ -203,7 +203,7 @@ mod tests {
             ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let t = run(&k, &lc);
         assert_eq!(t.bottleneck(), "fp64");
         // The 3080's DP pipes are 1/64 rate: this must dominate DRAM.
@@ -215,7 +215,7 @@ mod tests {
         let k = KernelIr::builder("tiny")
             .op(Op::flop(Precision::F32))
             .build();
-        let lc = LaunchConfig::linear(32, 32);
+        let lc = LaunchConfig::linear(32, 32).unwrap();
         let t = run(&k, &lc);
         assert!(t.runtime_s >= LAUNCH_OVERHEAD_S);
     }
@@ -231,7 +231,7 @@ mod tests {
             ))
             .op(Op::store("out", AccessPattern::Coalesced))
             .build();
-        let lc = LaunchConfig::linear(n, 256).with_param("n", n);
+        let lc = LaunchConfig::linear(n, 256).unwrap().with_param("n", n);
         let t = run(&k, &lc);
         let flops = 2.0 * 1000.0 * n as f64;
         let achieved_gflops = flops / t.runtime_s / 1e9;
@@ -253,9 +253,11 @@ mod tests {
                 .build()
         };
         let good = LaunchConfig::linear(n, 256)
+            .unwrap()
             .with_param("n", n)
             .with_regs(32);
         let bad = LaunchConfig::linear(n, 256)
+            .unwrap()
             .with_param("n", n)
             .with_regs(255);
         let tg = run(&body(), &good);
@@ -271,7 +273,7 @@ mod tests {
             .build();
         let lc = LaunchConfig {
             regs_per_thread: 200,
-            ..LaunchConfig::linear(2048, 64)
+            ..LaunchConfig::linear(2048, 64).unwrap()
         };
         let t = run(&k, &lc);
         assert!(t.t_latency > 0.0);

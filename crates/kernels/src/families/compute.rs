@@ -173,6 +173,7 @@ fn nbody(input: &FamilyInput) -> Variant {
     let t = input.c_type();
     let bodies = input.n.clamp(1024, 65536);
     let launch = pce_gpu_sim::LaunchConfig::linear(bodies, 256)
+        .expect("corpus launch shapes are statically valid")
         .with_param("n", bodies)
         .with_param("iters", input.iters);
     let ir = KernelIr::builder("nbody_force")

@@ -66,6 +66,7 @@ fn matrix_dim(n: u64) -> u64 {
 
 fn plane_launch(dim: u64, input: &FamilyInput) -> LaunchConfig {
     LaunchConfig::plane(dim, dim, 16, 16)
+        .expect("corpus launch shapes are statically valid")
         .with_param("n", dim * dim)
         .with_param("dim", dim)
         .with_param("iters", input.iters)
@@ -218,6 +219,7 @@ fn gemv(input: &FamilyInput) -> Variant {
     let t = input.c_type();
     let dim = matrix_dim(input.n).min(16384);
     let launch = LaunchConfig::linear(dim, 256)
+        .expect("corpus launch shapes are statically valid")
         .with_param("dim", dim)
         .with_param("n", dim * dim);
     let ir = KernelIr::builder("gemv")
@@ -341,6 +343,7 @@ fn stencil3d(input: &FamilyInput) -> Variant {
     let dim = ((input.n as f64).cbrt() as u64).clamp(32, 512);
     let n3 = dim * dim * dim;
     let launch = LaunchConfig::plane(dim * dim, dim, 16, 16)
+        .expect("corpus launch shapes are statically valid")
         .with_param("n", n3)
         .with_param("dim", dim);
     let ir = KernelIr::builder("stencil3d")

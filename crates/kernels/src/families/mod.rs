@@ -125,6 +125,7 @@ pub fn family(name: &str) -> Option<Family> {
 /// Shared helper: the standard 1-D launch used by elementwise families.
 pub(crate) fn linear_launch(input: &FamilyInput) -> LaunchConfig {
     LaunchConfig::linear(input.n, 256)
+        .expect("corpus launch shapes are statically valid")
         .with_param("n", input.n)
         .with_param("iters", input.iters)
 }

@@ -441,6 +441,7 @@ fn transpose(input: &FamilyInput) -> Variant {
     let dim = dim.max(32);
     let n2 = dim * dim;
     let launch = pce_gpu_sim::LaunchConfig::plane(dim, dim, 16, 16)
+        .expect("corpus launch shapes are statically valid")
         .with_param("n", n2)
         .with_param("dim", dim);
     let ir = KernelIr::builder("transpose")

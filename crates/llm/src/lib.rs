@@ -38,7 +38,7 @@ pub mod parse;
 pub mod zoo;
 
 pub use api::{ChatRequest, ChatResponse, SamplingParams, Usage, UsageMeter};
-pub use cache::{CacheCounters, LlmCaches};
+pub use cache::{CacheCounters, LlmBudget, LlmCaches};
 pub use engine::{CompletionOutcome, SurrogateEngine};
 pub use finetune::{FineTuneConfig, FineTuneJob, FineTunedModel};
 pub use zoo::{model_zoo, Capability, ModelSpec};

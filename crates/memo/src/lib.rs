@@ -12,18 +12,27 @@
 //!   reuse, so a fingerprint collision degrades to a bucket scan — never
 //!   to a wrong value. That property is what lets the caches guarantee
 //!   bit-identical warm and cold runs,
-//! * [`CacheCounters`] — hit/miss counters every cache exposes to the
-//!   bench harness's effectiveness report.
+//! * [`CacheCounters`] — hit/miss/eviction counters every cache exposes
+//!   to the bench harness's effectiveness report.
 //!
-//! All cached functions in this workspace are pure, so the only
-//! observable difference between a hit and a miss is time.
+//! ## Bounding
+//!
+//! A memo table is either *unbounded* ([`Memo::new`]) or *bounded*
+//! ([`Memo::bounded`]) by a byte capacity plus a caller-supplied cost
+//! function. Bounded tables evict with a sharded second-chance (CLOCK)
+//! sweep that walks entries in ascending fingerprint order, so which
+//! entry is evicted depends only on the resident set — not on insertion
+//! order or thread scheduling. Because every cached function in this
+//! workspace is pure, an eviction is observationally just a future miss:
+//! bounded and unbounded runs produce byte-identical outputs.
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -34,13 +43,32 @@ use serde::{Deserialize, Serialize};
 /// when reporting counters.
 const SHARDS: usize = 16;
 
-/// Hit/miss counters for one cache, as reported by the bench harness.
+/// Finalizing mixer (splitmix64) applied to a fingerprint before shard
+/// selection: FNV-1a's high bits are poorly mixed for short inputs, so
+/// taking `fp >> 60` straight would pile short keys onto a few shards.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d049bb133111eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Hit/miss/eviction counters for one cache, as reported by the bench
+/// harness. `resident_bytes` is a point-in-time gauge (0 for unbounded
+/// tables, which do no size accounting); the rest are monotone counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheCounters {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute (and then populated the cache).
     pub misses: u64,
+    /// Entries evicted to stay under the configured byte capacity.
+    pub evictions: u64,
+    /// Bytes currently resident, per the caller's cost function.
+    pub resident_bytes: u64,
 }
 
 impl CacheCounters {
@@ -133,36 +161,105 @@ impl Fnv {
     }
 }
 
-/// One fingerprint bucket: full keys plus their shared values. Collisions
-/// degrade to a scan over the bucket, never to a wrong answer.
-type Bucket<K, V> = Vec<(K, Arc<V>)>;
+/// One resident entry: the full key, its shared value, the cost charged
+/// at insertion, and the CLOCK reference bit (set on every hit, cleared
+/// by the sweep to grant one second chance).
+struct Entry<K, V> {
+    key: K,
+    value: Arc<V>,
+    cost: u64,
+    referenced: AtomicBool,
+}
 
-/// A sharded fingerprint-bucketed memo table.
+/// One lock shard: fingerprint-ordered buckets (ordering is what makes
+/// the eviction sweep deterministic), resident-byte tally, and the CLOCK
+/// hand — the fingerprint where the next sweep resumes.
+struct Shard<K, V> {
+    buckets: BTreeMap<u64, Vec<Entry<K, V>>>,
+    bytes: u64,
+    hand: u64,
+}
+
+impl<K, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            buckets: BTreeMap::new(),
+            bytes: 0,
+            hand: 0,
+        }
+    }
+}
+
+/// Per-entry cost function for bounded tables.
+type CostFn<K, V> = Arc<dyn Fn(&K, &V) -> u64 + Send + Sync>;
+
+/// A sharded fingerprint-bucketed memo table, optionally bounded.
 ///
 /// Keys are bucketed by a caller-supplied 64-bit fingerprint; each bucket
 /// holds the full keys (verified with `PartialEq`) so collisions degrade
 /// to a scan, never to a wrong answer.
-#[derive(Debug)]
+///
+/// [`Memo::bounded`] adds a byte capacity with a per-entry cost function:
+/// after each insert the owning shard sweeps entries in ascending
+/// fingerprint order (second-chance/CLOCK) until it is back under its
+/// slice of the capacity. Eviction order depends only on the resident
+/// set, never on insertion order, so runs are reproducible.
 pub struct Memo<K, V> {
-    shards: Vec<RwLock<HashMap<u64, Bucket<K, V>>>>,
+    shards: Vec<RwLock<Shard<K, V>>>,
+    capacity: Option<u64>,
+    cost: Option<CostFn<K, V>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    resident: AtomicU64,
+}
+
+impl<K, V> fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memo")
+            .field("capacity", &self.capacity)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .field("evictions", &self.evictions.load(Ordering::Relaxed))
+            .field("resident_bytes", &self.resident.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
 }
 
 impl<K: PartialEq, V> Default for Memo<K, V> {
     fn default() -> Self {
         Memo {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            capacity: None,
+            cost: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            resident: AtomicU64::new(0),
         }
     }
 }
 
 impl<K: PartialEq, V> Memo<K, V> {
-    /// A fresh, empty table.
+    /// A fresh, empty, unbounded table (no size accounting, no eviction).
     pub fn new() -> Self {
         Memo::default()
+    }
+
+    /// A fresh table bounded to `capacity_bytes`, with `cost` charging
+    /// each entry at insertion. Capacity is split evenly across shards;
+    /// an entry larger than its shard's slice is admitted, returned, and
+    /// evicted by the very next sweep — callers still get correct values,
+    /// the table just stops retaining them (all-miss behavior).
+    pub fn bounded(
+        capacity_bytes: u64,
+        cost: impl Fn(&K, &V) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        Memo {
+            capacity: Some(capacity_bytes),
+            cost: Some(Arc::new(cost)),
+            ..Memo::default()
+        }
     }
 
     /// Look up by fingerprint + exact key match, computing and inserting
@@ -176,32 +273,93 @@ impl<K: PartialEq, V> Memo<K, V> {
         make_key: impl FnOnce() -> K,
         compute: impl FnOnce() -> V,
     ) -> Arc<V> {
-        let shard = &self.shards[(fp >> 60) as usize % SHARDS];
-        if let Some(bucket) = shard.read().get(&fp) {
-            if let Some((_, v)) = bucket.iter().find(|(k, _)| matches(k)) {
+        let shard = &self.shards[mix64(fp) as usize % SHARDS];
+        if let Some(bucket) = shard.read().buckets.get(&fp) {
+            if let Some(e) = bucket.iter().find(|e| matches(&e.key)) {
+                e.referenced.store(true, Ordering::Relaxed);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return v.clone();
+                return e.value.clone();
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = Arc::new(compute());
         let key = make_key();
+        let cost = match &self.cost {
+            Some(f) => f(&key, &value),
+            None => 0,
+        };
         let mut guard = shard.write();
-        let bucket = guard.entry(fp).or_default();
+        let bucket = guard.buckets.entry(fp).or_default();
         // Another worker may have inserted while we computed; reuse its
         // entry so every caller shares one allocation.
-        if let Some((_, v)) = bucket.iter().find(|(k, _)| matches(k)) {
-            return v.clone();
+        if let Some(e) = bucket.iter().find(|e| matches(&e.key)) {
+            e.referenced.store(true, Ordering::Relaxed);
+            return e.value.clone();
         }
-        bucket.push((key, value.clone()));
+        // New entries start with the reference bit clear: a second chance
+        // is earned by a hit, so churn that is never re-read cannot push
+        // hot entries out of the table.
+        bucket.push(Entry {
+            key,
+            value: value.clone(),
+            cost,
+            referenced: AtomicBool::new(false),
+        });
+        guard.bytes += cost;
+        self.resident.fetch_add(cost, Ordering::Relaxed);
+        if let Some(capacity) = self.capacity {
+            self.enforce(&mut guard, capacity / SHARDS as u64);
+        }
         value
     }
 
-    /// Hit/miss counters.
+    /// Second-chance sweep: walk buckets in ascending fingerprint order
+    /// from the shard's hand (wrapping once past the largest key), clear
+    /// reference bits on the first pass, evict on the second, until the
+    /// shard is back under `budget`. Holding the write lock means no hit
+    /// can re-set a bit mid-sweep, so each iteration either evicts an
+    /// entry or clears at least one set bit — the sweep terminates even
+    /// at a budget of zero.
+    fn enforce(&self, shard: &mut Shard<K, V>, budget: u64) {
+        while shard.bytes > budget {
+            let fp = match shard
+                .buckets
+                .range(shard.hand..)
+                .next()
+                .map(|(k, _)| *k)
+                .or_else(|| shard.buckets.keys().next().copied())
+            {
+                Some(fp) => fp,
+                None => break,
+            };
+            let bucket = shard.buckets.get_mut(&fp).expect("bucket at swept fp");
+            if let Some(pos) = bucket
+                .iter()
+                .position(|e| !e.referenced.load(Ordering::Relaxed))
+            {
+                let evicted = bucket.remove(pos);
+                if bucket.is_empty() {
+                    shard.buckets.remove(&fp);
+                }
+                shard.bytes = shard.bytes.saturating_sub(evicted.cost);
+                self.resident.fetch_sub(evicted.cost, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                for e in bucket.iter() {
+                    e.referenced.store(false, Ordering::Relaxed);
+                }
+            }
+            shard.hand = fp.wrapping_add(1);
+        }
+    }
+
+    /// Hit/miss/eviction counters plus the current resident-byte gauge.
     pub fn counters(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed),
         }
     }
 
@@ -209,7 +367,7 @@ impl<K: PartialEq, V> Memo<K, V> {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().values().map(Vec::len).sum::<usize>())
+            .map(|s| s.read().buckets.values().map(Vec::len).sum::<usize>())
             .sum()
     }
 
@@ -256,7 +414,14 @@ mod tests {
         let a = memo.get_or_insert_with(7, |&k| k == 1, || 1, || "one".to_string());
         let b = memo.get_or_insert_with(7, |&k| k == 1, || 1, || unreachable!());
         assert!(Arc::ptr_eq(&a, &b));
-        assert_eq!(memo.counters(), CacheCounters { hits: 1, misses: 1 });
+        assert_eq!(
+            memo.counters(),
+            CacheCounters {
+                hits: 1,
+                misses: 1,
+                ..Default::default()
+            }
+        );
         assert_eq!(memo.len(), 1);
     }
 
@@ -291,9 +456,155 @@ mod tests {
 
     #[test]
     fn counters_report_rates() {
-        let c = CacheCounters { hits: 3, misses: 1 };
+        let c = CacheCounters {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert_eq!(c.total(), 4);
         assert!((c.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn unbounded_table_does_no_size_accounting() {
+        let memo: Memo<u32, u64> = Memo::new();
+        for k in 0..100u32 {
+            memo.get_or_insert_with(k as u64, |&x| x == k, || k, || k as u64);
+        }
+        let c = memo.counters();
+        assert_eq!((c.evictions, c.resident_bytes), (0, 0));
+        assert_eq!(memo.len(), 100);
+    }
+
+    #[test]
+    fn bounded_table_stays_under_capacity_and_counts_evictions() {
+        // 16 shards × 64-byte slices; every entry costs 32 bytes, so each
+        // shard retains at most 2 entries.
+        let memo: Memo<u32, u64> = Memo::bounded(1024, |_, _| 32);
+        for k in 0..200u32 {
+            let fp = {
+                let mut h = Fnv::new();
+                h.u64(k as u64);
+                h.finish()
+            };
+            memo.get_or_insert_with(fp, |&x| x == k, || k, || k as u64);
+        }
+        let c = memo.counters();
+        assert!(c.resident_bytes <= 1024, "resident={}", c.resident_bytes);
+        assert!(c.evictions > 0, "expected evictions at this capacity");
+        assert_eq!(c.misses, 200);
+        assert_eq!(
+            memo.len() as u64 * 32,
+            c.resident_bytes,
+            "byte tally matches entry count"
+        );
+    }
+
+    #[test]
+    fn capacity_one_table_still_returns_correct_values() {
+        // A 1-byte capacity admits nothing durably: every lookup is a
+        // miss, every insert is evicted by its own sweep — but returned
+        // values are always correct.
+        let memo: Memo<u32, u64> = Memo::bounded(1, |_, _| 64);
+        for round in 0..3 {
+            for k in 0..20u32 {
+                let got = memo.get_or_insert_with(k as u64, |&x| x == k, || k, || (k as u64) * 10);
+                assert_eq!(*got, (k as u64) * 10, "round {round}");
+            }
+        }
+        let c = memo.counters();
+        assert_eq!(c.hits, 0, "capacity-1 cache cannot retain entries");
+        assert_eq!(c.misses, 60);
+        assert_eq!(c.evictions, 60);
+        assert_eq!(c.resident_bytes, 0);
+        assert!(memo.is_empty());
+    }
+
+    #[test]
+    fn recently_hit_entries_survive_the_sweep() {
+        // One shard's slice fits 2 entries. Keep hitting key A while
+        // inserting churn keys routed to the same shard: the CLOCK's
+        // second chance must keep A resident.
+        let memo: Memo<u64, u64> = Memo::bounded(16 * 64, |_, _| 32);
+        let same_shard: Vec<u64> = (0..1 << 16)
+            .filter(|&fp| (mix64(fp) as usize).is_multiple_of(SHARDS))
+            .take(12)
+            .collect();
+        assert!(same_shard.len() >= 12, "need enough colliding fingerprints");
+        let a = same_shard[0];
+        memo.get_or_insert_with(a, |&k| k == a, || a, || 111);
+        for &fp in &same_shard[1..] {
+            // Touch A, then insert churn.
+            assert_eq!(
+                *memo.get_or_insert_with(a, |&k| k == a, || a, || 0),
+                111,
+                "hot entry must survive churn at fp {fp}"
+            );
+            memo.get_or_insert_with(fp, |&k| k == fp, || fp, || fp);
+        }
+        assert!(memo.counters().evictions > 0);
+    }
+
+    #[test]
+    fn sweep_evicts_in_ascending_fingerprint_order() {
+        // The sweep walks fingerprints, not insertion history: whichever
+        // order three same-shard entries arrive in, the lowest unreferenced
+        // fingerprint is evicted first, leaving the same resident set.
+        let fps: Vec<u64> = (0..1u64 << 16)
+            .filter(|&fp| mix64(fp) as usize % SHARDS == 3)
+            .take(3)
+            .collect();
+        let run = |order: &[u64]| -> Vec<u64> {
+            // One shard's slice fits 2 entries of 32 bytes.
+            let memo: Memo<u64, u64> = Memo::bounded(16 * 64, |_, _| 32);
+            for &fp in order {
+                memo.get_or_insert_with(fp, |&k| k == fp, || fp, || fp);
+            }
+            assert_eq!(memo.counters().evictions, 1);
+            let resident = memo.shards[3].read().buckets.keys().copied().collect();
+            resident
+        };
+        let mut rev = fps.clone();
+        rev.reverse();
+        assert_eq!(run(&fps), fps[1..], "lowest fingerprint goes first");
+        assert_eq!(run(&rev), fps[1..], "insertion order does not matter");
+    }
+
+    #[test]
+    fn shards_spread_short_string_fingerprints() {
+        // Satellite fix: FNV-1a fingerprints of short strings concentrate
+        // in the top bits; after mixing, shard occupancy must be spread.
+        let mut occupancy = [0usize; SHARDS];
+        for i in 0..1000 {
+            let mut h = Fnv::new();
+            h.str(&format!("kernel_{i}"));
+            occupancy[mix64(h.finish()) as usize % SHARDS] += 1;
+        }
+        let (min, max) = (
+            *occupancy.iter().min().expect("non-empty"),
+            *occupancy.iter().max().expect("non-empty"),
+        );
+        // Expected 62.5 per shard; demand every shard is populated and no
+        // shard hoards more than 3× its fair share.
+        assert!(min >= 20, "under-filled shard: {occupancy:?}");
+        assert!(max <= 187, "over-filled shard: {occupancy:?}");
+
+        // And the memo table itself actually lands entries on many shards.
+        let memo: Memo<String, u64> = Memo::new();
+        for i in 0..1000 {
+            let key = format!("kernel_{i}");
+            let mut h = Fnv::new();
+            h.str(&key);
+            let fp = h.finish();
+            let key2 = key.clone();
+            memo.get_or_insert_with(fp, |k| *k == key, move || key2, || i);
+        }
+        let populated = memo
+            .shards
+            .iter()
+            .filter(|s| !s.read().buckets.is_empty())
+            .count();
+        assert_eq!(populated, SHARDS, "all shards should see entries");
     }
 }

@@ -19,7 +19,9 @@ fn main() {
         .op(Op::store("out", AccessPattern::Coalesced))
         .build();
     let n = 16_000_000u64;
-    let launch = LaunchConfig::linear(n, 256).with_param("n", n);
+    let launch = LaunchConfig::linear(n, 256)
+        .expect("valid launch")
+        .with_param("n", n);
 
     println!("kernel: high-order (25-flop) DP stencil, n = {n}\n");
     println!(

@@ -10,7 +10,7 @@
 //! a concurrently running test in this binary (same pattern as
 //! `tests/determinism.rs`).
 
-use parallel_code_estimation::core::caches::SuiteCaches;
+use parallel_code_estimation::core::caches::{CacheBudget, SuiteCaches};
 use parallel_code_estimation::core::report::{
     render_flips_csv, render_suite, render_suite_csv, render_table1,
 };
@@ -101,4 +101,42 @@ fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
     assert_eq!(warm_parallel, warm_serial, "warm: 4 threads vs 1 thread");
     assert_eq!(cold, warm_parallel, "default vs pinned thread budgets");
     assert_eq!(cold, cold_parallel, "cold parallel rerun diverged");
+
+    // --- Bounded bundles: a budget tight enough to evict mid-run must
+    // still render the cold-cache bytes, at any thread count. Evictions
+    // cost recomputation, never answers.
+    let tight = CacheBudget::uniform(96 * 1024);
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let evicting = SuiteCaches::with_budget(tight);
+    let bounded_parallel = render(&run_suite_cached(&suite, &evicting).unwrap());
+    let report = evicting.report();
+    assert!(
+        report.total_evictions() > 0,
+        "budget never evicted: {report:?}"
+    );
+    assert!(
+        report.total_resident_bytes() <= 5 * 96 * 1024,
+        "resident bytes exceed the five per-cache budgets: {report:?}"
+    );
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let bounded_serial =
+        render(&run_suite_cached(&suite, &SuiteCaches::with_budget(tight)).unwrap());
+    std::env::remove_var("RAYON_NUM_THREADS");
+    assert_eq!(cold, bounded_parallel, "bounded (evicting) vs cold");
+    assert_eq!(cold, bounded_serial, "bounded: 1 thread vs cold");
+
+    // --- The degenerate budget: a 1-byte cap means every insert is
+    // immediately evicted (all-miss), and the artifacts still hold.
+    let all_miss = SuiteCaches::with_budget(CacheBudget::uniform(1));
+    assert_eq!(
+        cold,
+        render(&run_suite_cached(&suite, &all_miss).unwrap()),
+        "capacity-1 (all-miss) bundle diverged"
+    );
+    let report = all_miss.report();
+    assert_eq!(
+        report.summary.hits, 0,
+        "1-byte budget cannot retain entries: {report:?}"
+    );
+    assert_eq!(report.profile.hits, 0, "{report:?}");
 }
