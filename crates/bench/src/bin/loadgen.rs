@@ -21,12 +21,23 @@
 //! reduced-scale corpus. `--emit-jobs` prints the job mix as protocol
 //! lines (plus `stats` and `quit`) and exits — CI pipes that into the
 //! `serve` bin to smoke the stdin front end.
+//!
+//! `--storm` additionally drives the whole mix (every job carrying a
+//! tight `deadline_ms=`) plus a `drain` and a few post-drain stragglers
+//! through a *bounded* `serve_session` (`--queue-depth <n>`, default 8)
+//! at 1 and 4 threads, asserting byte-identical transcripts, exactly one
+//! response per job, and a balanced extended ledger; the resulting
+//! shed-rate/goodput profile lands in the report's `storm` field.
+//! `--emit-jobs --storm` prints the raw storm stream for piping into the
+//! `serve` bin.
 
 use std::time::Instant;
 
 use pce_bench::{flag_value, study_from_args};
 use pce_core::caches::CacheBudget;
-use pce_core::serve::{IdentityCheck, Job, PredictionService, ServeBenchReport, ThreadPoint};
+use pce_core::serve::{
+    IdentityCheck, Job, PredictionService, ServeBenchReport, ServeConfig, StormReport, ThreadPoint,
+};
 use pce_core::study::Study;
 use pce_llm::model_zoo;
 use pce_prompt::ShotStyle;
@@ -111,13 +122,14 @@ fn job_mix(study: &Study, jobs: usize, seed: u64) -> Vec<Job> {
             } else {
                 ShotStyle::FewShot
             },
+            deadline_ms: None,
         })
         .collect()
 }
 
 /// Render one job as its protocol line.
 fn job_line(job: &Job) -> String {
-    format!(
+    let mut line = format!(
         "predict id={} kernel={} spec={} model={} shots={}",
         job.id,
         job.kernel,
@@ -127,7 +139,131 @@ fn job_line(job: &Job) -> String {
             ShotStyle::ZeroShot => "zero",
             ShotStyle::FewShot => "few",
         }
-    )
+    );
+    if let Some(d) = job.deadline_ms {
+        line.push_str(&format!(" deadline_ms={d}"));
+    }
+    line
+}
+
+/// Deadline every storm job carries, in virtual milliseconds. Against
+/// the default 2 ms/job virtual cost and depth-8 queue this is tight
+/// enough that one dispatch completes, the drained backlog expires, and
+/// everything past the full queue is shed — all three outcomes exercised.
+const STORM_DEADLINE_MS: u64 = 25;
+
+/// The storm protocol stream: the seeded mix under a uniform tight
+/// deadline, then `drain`, then a few stragglers (which a draining
+/// server must shed), then `quit`.
+fn storm_lines(jobs: &[Job]) -> Vec<String> {
+    let mut lines = Vec::with_capacity(jobs.len() + 6);
+    let with_deadline = |job: &Job, id: Option<String>| {
+        let mut j = job.clone();
+        j.deadline_ms = Some(STORM_DEADLINE_MS);
+        if let Some(id) = id {
+            j.id = id;
+        }
+        job_line(&j)
+    };
+    for job in jobs {
+        lines.push(with_deadline(job, None));
+    }
+    lines.push("drain".to_string());
+    for (i, job) in jobs.iter().take(4).enumerate() {
+        lines.push(with_deadline(job, Some(format!("pd{i}"))));
+    }
+    lines.push("quit".to_string());
+    lines
+}
+
+/// Drive the storm stream through a bounded `serve_session` at 1 and 4
+/// threads; assert byte-identical transcripts, exactly one response per
+/// submitted job, and a balanced extended ledger.
+fn run_storm(study: &Study, jobs: &[Job], batch: usize, depth: usize) -> StormReport {
+    let input: String = storm_lines(jobs).iter().map(|l| format!("{l}\n")).collect();
+    let expected_ids: Vec<String> = jobs
+        .iter()
+        .map(|j| j.id.clone())
+        .chain((0..4).map(|i| format!("pd{i}")))
+        .collect();
+    let config = ServeConfig {
+        batch,
+        queue_depth: Some(depth),
+        ..ServeConfig::default()
+    };
+    let mut reference: Option<Vec<u8>> = None;
+    let mut identical = true;
+    let (mut completed, mut shed, mut expired, mut goodput) = (0u64, 0u64, 0u64, 0.0f64);
+    for threads in [1usize, 4] {
+        std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
+        let service = PredictionService::new(study.clone(), Some(CacheBudget::uniform(256 * 1024)));
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        if let Err(e) = service.serve_session(input.as_bytes(), &mut out, &config) {
+            eprintln!("storm serve failed at {threads} threads: {e}");
+            std::process::exit(2);
+        }
+        let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+        if !service.ledger_balanced() {
+            eprintln!("storm ledger unbalanced at {threads} threads");
+            std::process::exit(2);
+        }
+        let ledger = service.ledger();
+        (completed, shed, expired) = (ledger.completed, ledger.shed, ledger.expired);
+        goodput = ledger.completed as f64 / wall_s;
+        if completed + shed + expired != expected_ids.len() as u64 {
+            eprintln!(
+                "storm accounting hole: {} submitted but {completed}+{shed}+{expired} resolved",
+                expected_ids.len()
+            );
+            std::process::exit(2);
+        }
+        let text = String::from_utf8_lossy(&out);
+        let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+        for line in text.lines() {
+            if line.starts_with("ok ") || line.starts_with("err ") {
+                if let Some(id) = line.split_whitespace().find_map(|t| t.strip_prefix("id=")) {
+                    *counts.entry(id).or_default() += 1;
+                }
+            }
+        }
+        for id in &expected_ids {
+            if counts.get(id.as_str()) != Some(&1) {
+                eprintln!(
+                    "storm job {id} answered {} times (want exactly 1)",
+                    counts.get(id.as_str()).copied().unwrap_or(0)
+                );
+                std::process::exit(2);
+            }
+        }
+        match &reference {
+            None => reference = Some(out),
+            Some(r) => identical &= *r == out,
+        }
+    }
+    if !identical {
+        eprintln!("storm transcripts diverged across thread counts");
+        std::process::exit(2);
+    }
+    if shed == 0 {
+        eprintln!("storm shed nothing — queue depth {depth} is not an overload");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "storm: {} jobs, completed={completed} shed={shed} expired={expired} goodput={goodput:.1}/s",
+        expected_ids.len()
+    );
+    StormReport {
+        jobs: expected_ids.len(),
+        queue_depth: depth,
+        deadline_ms: STORM_DEADLINE_MS,
+        completed,
+        shed,
+        expired,
+        shed_rate: shed as f64 / expected_ids.len() as f64,
+        goodput_per_sec: goodput,
+        transcript_identical_across_threads: identical,
+    }
 }
 
 /// Replay `jobs` in admission batches, returning (responses, per-job
@@ -172,12 +308,19 @@ fn main() {
 
     let jobs = job_mix(&study, jobs_n, seed);
 
+    let storm = args.iter().any(|a| a == "--storm");
     if args.iter().any(|a| a == "--emit-jobs") {
-        for job in &jobs {
-            println!("{}", job_line(job));
+        if storm {
+            for line in storm_lines(&jobs) {
+                println!("{line}");
+            }
+        } else {
+            for job in &jobs {
+                println!("{}", job_line(job));
+            }
+            println!("stats");
+            println!("quit");
         }
-        println!("stats");
-        println!("quit");
         return;
     }
 
@@ -237,6 +380,17 @@ fn main() {
         points.push(point);
     }
 
+    let storm_report = if storm {
+        Some(run_storm(
+            &study,
+            &jobs,
+            batch,
+            usize_flag(&args, "--queue-depth", 8),
+        ))
+    } else {
+        None
+    };
+
     let report = ServeBenchReport {
         jobs: jobs.len(),
         batch,
@@ -248,6 +402,7 @@ fn main() {
             resident_bytes: resident,
         },
         threads: points,
+        storm: storm_report,
     };
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

@@ -10,8 +10,9 @@
 //! Protocol (one command per line):
 //!
 //! ```text
-//! predict id=<token> kernel=<corpus-id> spec=<preset> model=<zoo-name> shots=<zero|few>
+//! predict id=<token> kernel=<corpus-id> spec=<preset> model=<zoo-name> shots=<zero|few> [deadline_ms=<n>]
 //! stats
+//! drain
 //! quit
 //! ```
 //!
@@ -20,7 +21,16 @@
 //! (64 MiB per cache layer); `--cache-bytes <n>` overrides the per-cache
 //! capacity and `--unbounded` disables bounding entirely. `--chaos
 //! <seed>` / `--fault-rate <r>` inject deterministic engine faults, as in
-//! the `suite` bin. Responses carry no timing, so transcripts are
+//! the `suite` bin, and `--wire-rate <r>` adds connection chaos (torn
+//! lines, disconnects, virtual-clock stalls).
+//!
+//! Overload safety: `--queue-depth <n>` bounds the admission queue (jobs
+//! arriving on a busy, full queue are shed with `err ... shed=queue`),
+//! `--default-deadline-ms <n>` applies a deadline to jobs without their
+//! own `deadline_ms=`, `--cost-ms <n>` sets the virtual per-job service
+//! cost the deadline/queue model runs on, and `--breaker-threshold <n>`
+//! sets how many consecutive invalid/refused responses open a model's
+//! circuit breaker. Responses carry no timing, so transcripts are
 //! byte-reproducible across batch sizes, thread counts, and cache bounds.
 
 use std::io::{BufReader, Write};
@@ -29,7 +39,7 @@ use std::sync::Arc;
 
 use pce_bench::{chaos_from_args, flag_value, study_from_args};
 use pce_core::caches::CacheBudget;
-use pce_core::serve::PredictionService;
+use pce_core::serve::{PredictionService, ServeConfig};
 
 /// Default per-cache capacity: generous enough that a normal smoke
 /// workload never evicts, small enough to bound a long-lived process.
@@ -77,10 +87,41 @@ fn main() {
     };
     let batch = usize_flag(&args, "--batch", 32);
     let budget = budget_from_args(&args);
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        batch,
+        queue_depth: flag_value(&args, "--queue-depth").map(|v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--queue-depth needs a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        }),
+        default_deadline_ms: flag_value(&args, "--default-deadline-ms").map(|v| {
+            match v.parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!("--default-deadline-ms needs an integer, got '{v}'");
+                    std::process::exit(2);
+                }
+            }
+        }),
+        cost_ms_per_job: usize_flag(&args, "--cost-ms", defaults.cost_ms_per_job as usize) as u64,
+        breaker_threshold: usize_flag(
+            &args,
+            "--breaker-threshold",
+            defaults.breaker_threshold as usize,
+        ) as u32,
+        ..defaults
+    };
     let service = Arc::new(PredictionService::new(study, budget));
     eprintln!(
-        "serving {} kernels (batch={batch}, caches {})",
+        "serving {} kernels (batch={batch}, queue {}, caches {})",
         service.programs().len(),
+        match config.queue_depth {
+            Some(d) => format!("bounded (depth {d})"),
+            None => "unbounded".to_string(),
+        },
         if budget.is_some() {
             "bounded"
         } else {
@@ -92,7 +133,7 @@ fn main() {
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            if let Err(e) = service.serve_lines(stdin.lock(), stdout.lock(), batch) {
+            if let Err(e) = service.serve_session(stdin.lock(), stdout.lock(), &config) {
                 eprintln!("serve failed: {e}");
                 std::process::exit(2);
             }
@@ -115,6 +156,7 @@ fn main() {
                     }
                 };
                 let service = Arc::clone(&service);
+                let config = config.clone();
                 std::thread::spawn(move || {
                     let reader = match stream.try_clone() {
                         Ok(r) => BufReader::new(r),
@@ -124,7 +166,7 @@ fn main() {
                         }
                     };
                     let mut writer = stream;
-                    if let Err(e) = service.serve_lines(reader, &mut writer, batch) {
+                    if let Err(e) = service.serve_session(reader, &mut writer, &config) {
                         eprintln!("connection failed: {e}");
                     }
                     let _ = writer.flush();

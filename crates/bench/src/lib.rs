@@ -64,15 +64,21 @@ pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 
 /// Parse the chaos convention: `--chaos <seed>` switches fault injection
 /// on, `--fault-rate <r>` tunes the total injection probability (default
-/// 0.1, split evenly across the fault kinds). Without `--chaos` the run
-/// is fault-free; `--fault-rate` alone is rejected so a typo can't
+/// 0.1, split evenly across the fault kinds), and `--wire-rate <r>` adds
+/// connection-layer chaos (torn lines / disconnects / stalls, split
+/// evenly; default 0). Without `--chaos` the run is fault-free;
+/// `--fault-rate` or `--wire-rate` alone is rejected so a typo can't
 /// silently drop the chaos layer.
 pub fn chaos_from_args(args: &[String]) -> Result<Option<ChaosConfig>, String> {
     let has_chaos = args.iter().any(|a| a == "--chaos");
     let has_rate = args.iter().any(|a| a == "--fault-rate");
+    let has_wire = args.iter().any(|a| a == "--wire-rate");
     if !has_chaos {
         if has_rate {
             return Err("--fault-rate requires --chaos <seed>".to_string());
+        }
+        if has_wire {
+            return Err("--wire-rate requires --chaos <seed>".to_string());
         }
         return Ok(None);
     }
@@ -80,20 +86,28 @@ pub fn chaos_from_args(args: &[String]) -> Result<Option<ChaosConfig>, String> {
         .ok_or("--chaos needs a seed, e.g. --chaos 42")?
         .parse::<u64>()
         .map_err(|e| format!("--chaos seed must be a u64: {e}"))?;
-    let rate = match flag_value(args, "--fault-rate") {
-        None if has_rate => return Err("--fault-rate needs a value in [0, 1]".to_string()),
-        None => 0.1,
-        Some(raw) => {
-            let r = raw
-                .parse::<f64>()
-                .map_err(|e| format!("--fault-rate must be a number: {e}"))?;
-            if !(0.0..=1.0).contains(&r) {
-                return Err(format!("--fault-rate must be in [0, 1], got {r}"));
+    let unit_rate = |flag: &str, default: f64| -> Result<f64, String> {
+        match flag_value(args, flag) {
+            None if args.iter().any(|a| a == flag) => {
+                Err(format!("{flag} needs a value in [0, 1]"))
             }
-            r
+            None => Ok(default),
+            Some(raw) => {
+                let r = raw
+                    .parse::<f64>()
+                    .map_err(|e| format!("{flag} must be a number: {e}"))?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("{flag} must be in [0, 1], got {r}"));
+                }
+                Ok(r)
+            }
         }
     };
-    Ok(Some(ChaosConfig::uniform(seed, rate)))
+    let rate = unit_rate("--fault-rate", 0.1)?;
+    let wire = unit_rate("--wire-rate", 0.0)?;
+    let mut chaos = ChaosConfig::uniform(seed, rate);
+    chaos.plan = chaos.plan.with_wire(pce_fault::WireRates::uniform(wire));
+    Ok(Some(chaos))
 }
 
 /// Parse a comma-separated spec list into hardware presets of any class.

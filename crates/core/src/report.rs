@@ -239,30 +239,27 @@ pub fn render_suite_csv(outcome: &SuiteOutcome) -> String {
     out
 }
 
-/// Render the suite's per-(cell, model) response ledger as CSV: valid /
-/// retried-then-valid / invalid / refused counts plus injection and retry
-/// totals, one row per model per completed cell.
+/// Render the suite's per-(cell, model) response ledger as CSV, one row
+/// per model per completed cell, using the workspace-shared
+/// [`pce_fault::ACCOUNTING_CSV_COLUMNS`] schema — the same columns the
+/// serve bin reports its per-model ledger with, serving counters
+/// included (all-zero for the suite, which never queues jobs).
 pub fn render_accounting_csv(outcome: &SuiteOutcome) -> String {
     let mut out = String::with_capacity(2048);
-    out.push_str(
-        "hardware,cpu_hardware,model,valid,retried_valid,invalid,refused,injected,retries,backoff_ms\n",
+    let _ = writeln!(
+        out,
+        "hardware,cpu_hardware,model,{}",
+        pce_fault::ACCOUNTING_CSV_COLUMNS
     );
     for s in outcome.completed() {
         for r in &s.table.rows {
-            let a = &r.accounting;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{}",
                 s.spec.name,
                 s.cpu_spec.name,
                 r.model,
-                a.valid,
-                a.retried_valid,
-                a.invalid,
-                a.refused,
-                a.injected,
-                a.retries,
-                a.backoff_ms,
+                r.accounting.csv_row(),
             );
         }
     }

@@ -6,9 +6,15 @@ use serde::{Deserialize, Serialize};
 /// when hosted answers go wrong: how many completions parsed first try,
 /// how many needed a retry, and how many were unusable.
 ///
-/// The balance invariant `injected == retried_valid + invalid + refused`
-/// holds because every injected fault corrupts the answer (never silently
-/// passes) while an un-injected surrogate completion always parses.
+/// Two balance invariants hold. The *response* invariant
+/// `injected == retried_valid + invalid + refused` holds because every
+/// injected fault corrupts the answer (never silently passes) while an
+/// un-injected surrogate completion always parses. The *serving*
+/// invariant `admitted == completed + shed + expired` holds because the
+/// prediction service answers every submitted job exactly once: with a
+/// completion, a load-shed rejection, or a deadline expiry. Layers that
+/// never queue jobs (the suite) leave the serving counters at zero, which
+/// balances trivially.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResponseAccounting {
     /// Completions that parsed on the first attempt.
@@ -25,7 +31,32 @@ pub struct ResponseAccounting {
     pub retries: u64,
     /// Total deterministic backoff the retry loop recorded, in ms.
     pub backoff_ms: u64,
+    /// Jobs submitted to the serving layer (including ones later shed).
+    #[serde(default)]
+    pub admitted: u64,
+    /// Jobs answered with a terminal completion (ok or a definitive err).
+    #[serde(default)]
+    pub completed: u64,
+    /// Jobs shed under load: full admission queue, open circuit breaker,
+    /// or a draining server.
+    #[serde(default)]
+    pub shed: u64,
+    /// Jobs whose deadline passed before an answer could be delivered —
+    /// distinct from upstream [`crate::PceError::Timeout`] faults, which
+    /// land in `invalid`/`retried_valid`.
+    #[serde(default)]
+    pub expired: u64,
+    /// The subset of `shed` rejected by an open circuit breaker.
+    #[serde(default)]
+    pub breaker_open: u64,
 }
+
+/// The CSV column list shared by every ledger renderer (the suite's
+/// response-ledger CSV and the serve bin's per-model ledger), in
+/// [`ResponseAccounting::csv_row`] order.
+pub const ACCOUNTING_CSV_COLUMNS: &str =
+    "valid,retried_valid,invalid,refused,injected,retries,backoff_ms,\
+     admitted,completed,shed,expired,breaker_open";
 
 impl ResponseAccounting {
     /// An empty ledger.
@@ -42,6 +73,11 @@ impl ResponseAccounting {
         self.injected += other.injected;
         self.retries += other.retries;
         self.backoff_ms += other.backoff_ms;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.breaker_open += other.breaker_open;
     }
 
     /// Merge-and-return, for fold chains.
@@ -67,10 +103,46 @@ impl ResponseAccounting {
         self.injected > 0 || self.retried_valid > 0 || self.invalid > 0 || self.refused > 0
     }
 
-    /// The chaos balance invariant: every injected fault must end up
-    /// recovered, invalid, or refused.
-    pub fn balanced(&self) -> bool {
+    /// The response-level chaos balance invariant: every injected fault
+    /// must end up recovered, invalid, or refused.
+    pub fn response_balanced(&self) -> bool {
         self.injected == self.retried_valid + self.invalid + self.refused
+    }
+
+    /// The serving-level balance invariant: every submitted job must be
+    /// answered exactly once — completed, shed, or expired — and breaker
+    /// rejections are a subset of sheds.
+    pub fn serve_balanced(&self) -> bool {
+        self.admitted == self.completed + self.shed + self.expired && self.breaker_open <= self.shed
+    }
+
+    /// Both ledger invariants:
+    /// `injected == retried_valid + invalid + refused` ∧
+    /// `admitted == completed + shed + expired`.
+    pub fn balanced(&self) -> bool {
+        self.response_balanced() && self.serve_balanced()
+    }
+
+    /// This ledger as one CSV row fragment, in
+    /// [`ACCOUNTING_CSV_COLUMNS`] order — shared by the suite's
+    /// response-ledger CSV and the serve bin's per-model ledger so both
+    /// report the same schema.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.valid,
+            self.retried_valid,
+            self.invalid,
+            self.refused,
+            self.injected,
+            self.retries,
+            self.backoff_ms,
+            self.admitted,
+            self.completed,
+            self.shed,
+            self.expired,
+            self.breaker_open,
+        )
     }
 }
 
@@ -96,6 +168,11 @@ mod tests {
             injected: 4,
             retries: 5,
             backoff_ms: 700,
+            admitted: 16,
+            completed: 14,
+            shed: 1,
+            expired: 1,
+            breaker_open: 1,
         };
         let merged = a.merged(&a);
         assert_eq!(merged.valid, 20);
@@ -105,6 +182,11 @@ mod tests {
         assert_eq!(merged.injected, 8);
         assert_eq!(merged.retries, 10);
         assert_eq!(merged.backoff_ms, 1400);
+        assert_eq!(merged.admitted, 32);
+        assert_eq!(merged.completed, 28);
+        assert_eq!(merged.shed, 2);
+        assert_eq!(merged.expired, 2);
+        assert_eq!(merged.breaker_open, 2);
         assert_eq!(merged.total(), 28);
         assert_eq!(merged.recovered(), 4);
         assert!(merged.faulted());
@@ -118,7 +200,55 @@ mod tests {
             retried_valid: 1,
             ..ResponseAccounting::new()
         };
+        assert!(!a.response_balanced());
         assert!(!a.balanced());
+    }
+
+    #[test]
+    fn serve_imbalance_is_detected() {
+        // A job admitted but never answered breaks the serving invariant
+        // even when the response invariant holds.
+        let a = ResponseAccounting {
+            admitted: 5,
+            completed: 3,
+            shed: 1,
+            ..ResponseAccounting::new()
+        };
+        assert!(a.response_balanced());
+        assert!(!a.serve_balanced());
+        assert!(!a.balanced());
+        // Breaker rejections exceeding total sheds are also an imbalance.
+        let b = ResponseAccounting {
+            admitted: 2,
+            shed: 1,
+            completed: 1,
+            breaker_open: 2,
+            ..ResponseAccounting::new()
+        };
+        assert!(!b.serve_balanced());
+    }
+
+    #[test]
+    fn csv_row_matches_the_shared_column_list() {
+        let a = ResponseAccounting {
+            valid: 1,
+            retried_valid: 2,
+            invalid: 3,
+            refused: 4,
+            injected: 9,
+            retries: 6,
+            backoff_ms: 123,
+            admitted: 11,
+            completed: 8,
+            shed: 2,
+            expired: 1,
+            breaker_open: 1,
+        };
+        assert_eq!(a.csv_row(), "1,2,3,4,9,6,123,11,8,2,1,1");
+        assert_eq!(
+            a.csv_row().split(',').count(),
+            ACCOUNTING_CSV_COLUMNS.split(',').count()
+        );
     }
 
     #[test]
@@ -131,9 +261,23 @@ mod tests {
             injected: 9,
             retries: 6,
             backoff_ms: 123,
+            admitted: 10,
+            completed: 10,
+            shed: 0,
+            expired: 0,
+            breaker_open: 0,
         };
         let json = serde_json::to_string(&a).unwrap();
         let back: ResponseAccounting = serde_json::from_str(&json).unwrap();
         assert_eq!(back, a);
+        // Pre-extension ledgers (no serving counters) still deserialize.
+        let legacy: ResponseAccounting = serde_json::from_str(
+            "{\"valid\":1,\"retried_valid\":0,\"invalid\":0,\"refused\":0,\
+             \"injected\":0,\"retries\":0,\"backoff_ms\":0}",
+        )
+        .unwrap();
+        assert_eq!(legacy.valid, 1);
+        assert_eq!(legacy.admitted, 0);
+        assert!(legacy.balanced());
     }
 }

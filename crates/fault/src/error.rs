@@ -42,6 +42,14 @@ pub enum PceError {
         /// What went wrong.
         what: String,
     },
+    /// The server shed the request under load: the admission queue was
+    /// full, the target model's circuit breaker was open, or the server
+    /// was draining. Retryable — backpressure is a transient property of
+    /// the *server*, so a client that backs off may be admitted later.
+    Overload {
+        /// Why the request was shed.
+        what: String,
+    },
 }
 
 impl PceError {
@@ -60,15 +68,23 @@ impl PceError {
         PceError::Io { what: what.into() }
     }
 
+    /// Build a [`PceError::Overload`] from anything displayable.
+    pub fn overload(what: impl Into<String>) -> PceError {
+        PceError::Overload { what: what.into() }
+    }
+
     /// Whether a bounded retry loop should re-issue the request.
     ///
-    /// `Timeout` and `Io` model transient service conditions; `Parse`
-    /// covers malformed *responses*, which a salted retry can repair.
-    /// `Refusal` and `Spec` are stable properties of the request and
-    /// retrying them only burns budget.
+    /// `Timeout`, `Io`, and `Overload` model transient service
+    /// conditions; `Parse` covers malformed *responses*, which a salted
+    /// retry can repair. `Refusal` and `Spec` are stable properties of
+    /// the request and retrying them only burns budget.
     pub fn retryable(&self) -> bool {
         match self {
-            PceError::Parse { .. } | PceError::Timeout { .. } | PceError::Io { .. } => true,
+            PceError::Parse { .. }
+            | PceError::Timeout { .. }
+            | PceError::Io { .. }
+            | PceError::Overload { .. } => true,
             PceError::Refusal { .. } | PceError::Spec { .. } => false,
         }
     }
@@ -81,6 +97,7 @@ impl PceError {
             PceError::Refusal { .. } => "refusal",
             PceError::Spec { .. } => "spec",
             PceError::Io { .. } => "io",
+            PceError::Overload { .. } => "overload",
         }
     }
 }
@@ -93,6 +110,7 @@ impl std::fmt::Display for PceError {
             PceError::Refusal { model } => write!(f, "model '{model}' refused to answer"),
             PceError::Spec { what } => write!(f, "invalid spec: {what}"),
             PceError::Io { what } => write!(f, "transient service error: {what}"),
+            PceError::Overload { what } => write!(f, "overload: {what}"),
         }
     }
 }
@@ -110,6 +128,7 @@ mod tests {
             PceError::Refusal { model: "o1".into() },
             PceError::spec("model 'gpt-6' is not in the zoo"),
             PceError::io("connection reset by peer"),
+            PceError::overload("admission queue full (depth 8)"),
         ]
     }
 
@@ -121,6 +140,7 @@ mod tests {
         assert_eq!(msgs[2], "model 'o1' refused to answer");
         assert_eq!(msgs[3], "invalid spec: model 'gpt-6' is not in the zoo");
         assert_eq!(msgs[4], "transient service error: connection reset by peer");
+        assert_eq!(msgs[5], "overload: admission queue full (depth 8)");
     }
 
     #[test]
@@ -132,6 +152,7 @@ mod tests {
         assert!(by_kind["parse"]);
         assert!(by_kind["timeout"]);
         assert!(by_kind["io"]);
+        assert!(by_kind["overload"]);
         assert!(!by_kind["refusal"]);
         assert!(!by_kind["spec"]);
     }

@@ -31,11 +31,13 @@ pub mod accounting;
 pub mod error;
 pub mod plan;
 pub mod retry;
+pub mod wire;
 
-pub use accounting::ResponseAccounting;
+pub use accounting::{ResponseAccounting, ACCOUNTING_CSV_COLUMNS};
 pub use error::PceError;
 pub use plan::{corrupt_text, is_refusal_text, FaultKind, FaultPlan, FaultRates, REFUSAL_TEXT};
 pub use retry::{attempt_seed, RetryPolicy};
+pub use wire::{WireFault, WirePlan, WireRates};
 
 /// FNV-1a over a byte stream — the same digest the rest of the workspace
 /// keys its caches with, kept local so this crate stays dependency-free.
@@ -62,4 +64,13 @@ pub(crate) fn scramble(mut x: u64) -> u64 {
 /// Map 64 uniform bits onto `[0, 1)`.
 pub(crate) fn unit(x: u64) -> f64 {
     (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic uniform draw in `[0, 1)` keyed purely on identity
+/// bytes — the primitive behind every chaos decision in this crate,
+/// exported so serving-layer mechanisms (circuit-breaker half-open
+/// probes) draw from the same reproducible stream family instead of a
+/// thread-local RNG.
+pub fn seeded_unit(parts: &[&[u8]]) -> f64 {
+    unit(scramble(fnv1a(parts)))
 }

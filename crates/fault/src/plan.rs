@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::wire::{WirePlan, WireRates};
 use crate::{fnv1a, scramble, unit};
 
 /// The injectable fault classes, mirroring the failure modes the paper's
@@ -147,6 +148,12 @@ pub struct FaultPlan {
     pub seed: u64,
     /// Per-kind injection rates.
     pub rates: FaultRates,
+    /// Connection-layer injection rates (torn lines, disconnects,
+    /// stalls), consumed through [`FaultPlan::wire_plan`]. Defaults to
+    /// zero so response-only plans — and every plan serialized before the
+    /// wire layer existed — behave exactly as before.
+    #[serde(default)]
+    pub wire: WireRates,
 }
 
 impl FaultPlan {
@@ -154,17 +161,35 @@ impl FaultPlan {
     /// across builds.
     const PLAN_SALT: u64 = 0xfa_17_00_01;
 
-    /// A plan with one total rate split evenly across all fault kinds.
+    /// A plan with one total rate split evenly across all response fault
+    /// kinds and no wire faults.
     pub fn uniform(seed: u64, total_rate: f64) -> FaultPlan {
         FaultPlan {
             seed,
             rates: FaultRates::uniform(total_rate),
+            wire: WireRates::zero(),
         }
     }
 
-    /// Whether this plan can ever inject anything.
+    /// This plan with its wire-layer rates replaced.
+    pub fn with_wire(self, wire: WireRates) -> FaultPlan {
+        FaultPlan { wire, ..self }
+    }
+
+    /// The connection-layer view of this plan, sharing its seed. The wire
+    /// stream is salted independently of the response-fault stream, so
+    /// enabling one never re-rolls the other.
+    pub fn wire_plan(&self) -> WirePlan {
+        WirePlan {
+            seed: self.seed,
+            rates: self.wire,
+        }
+    }
+
+    /// Whether this plan can ever inject anything (response- *or*
+    /// wire-level).
     pub fn is_active(&self) -> bool {
-        self.rates.total() > 0.0
+        self.rates.total() > 0.0 || self.wire.total() > 0.0
     }
 
     /// Decide the fault (if any) for one request attempt.
@@ -313,9 +338,31 @@ mod tests {
 
     #[test]
     fn plans_round_trip_through_serde() {
-        let plan = FaultPlan::uniform(42, 0.1);
+        let plan = FaultPlan::uniform(42, 0.1).with_wire(WireRates::uniform(0.2));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(back, plan);
+        // Plans serialized before the wire layer existed still deserialize,
+        // with wire rates defaulting to zero.
+        let legacy: FaultPlan = serde_json::from_str(
+            "{\"seed\":42,\"rates\":{\"truncate\":0.1,\"mangle\":0.0,\
+             \"refuse\":0.0,\"timeout\":0.0,\"transient\":0.0}}",
+        )
+        .unwrap();
+        assert_eq!(legacy.wire, WireRates::zero());
+        assert!(!legacy.wire_plan().is_active());
+    }
+
+    #[test]
+    fn wire_plan_shares_the_seed_and_activates_the_plan() {
+        let quiet = FaultPlan::uniform(9, 0.0);
+        assert!(!quiet.is_active());
+        let wired = quiet.with_wire(WireRates::uniform(0.3));
+        assert!(wired.is_active());
+        assert_eq!(wired.wire_plan().seed, 9);
+        // Wire chaos never bleeds into the response-fault stream.
+        for i in 0..256 {
+            assert_eq!(wired.draw("o1", i, i, 0), None);
+        }
     }
 }

@@ -44,6 +44,15 @@ pub struct RetryPolicy {
     pub max_backoff_ms: u64,
     /// Fraction of the delay used as ± jitter range (0.25 → ±25%).
     pub jitter: f64,
+    /// Ceiling on *cumulative* recorded backoff per request, in
+    /// milliseconds. When a retry's delay would push the running total to
+    /// or past this budget, the retry loop stops and the request fails
+    /// with a deadline [`crate::PceError::Timeout`] instead — so a job
+    /// with a deadline can never be accounted both `retried_valid` and
+    /// `expired`. `None` leaves backoff unbudgeted (the historical
+    /// behavior).
+    #[serde(default)]
+    pub backoff_budget_ms: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -54,6 +63,7 @@ impl Default for RetryPolicy {
             multiplier: 2.0,
             max_backoff_ms: 5_000,
             jitter: 0.25,
+            backoff_budget_ms: None,
         }
     }
 }
@@ -64,6 +74,15 @@ impl RetryPolicy {
         RetryPolicy {
             max_retries: 0,
             ..RetryPolicy::default()
+        }
+    }
+
+    /// This policy with cumulative recorded backoff capped at `budget_ms`
+    /// (a job deadline, typically).
+    pub fn with_budget(self, budget_ms: u64) -> RetryPolicy {
+        RetryPolicy {
+            backoff_budget_ms: Some(budget_ms),
+            ..self
         }
     }
 
@@ -150,5 +169,22 @@ mod tests {
     fn attempt_budget_counts_the_first_try() {
         assert_eq!(RetryPolicy::default().max_attempts(), 4);
         assert_eq!(RetryPolicy::none().max_attempts(), 1);
+    }
+
+    #[test]
+    fn backoff_budget_defaults_off_and_round_trips() {
+        assert_eq!(RetryPolicy::default().backoff_budget_ms, None);
+        let p = RetryPolicy::default().with_budget(750);
+        assert_eq!(p.backoff_budget_ms, Some(750));
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RetryPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+        // Pre-budget policies (no backoff_budget_ms key) still deserialize.
+        let legacy: RetryPolicy = serde_json::from_str(
+            "{\"max_retries\":3,\"base_backoff_ms\":100,\"multiplier\":2.0,\
+             \"max_backoff_ms\":5000,\"jitter\":0.25}",
+        )
+        .unwrap();
+        assert_eq!(legacy.backoff_budget_ms, None);
     }
 }

@@ -247,8 +247,20 @@ impl SurrogateEngine {
 
         for attempt in 0..policy.max_attempts() {
             if attempt > 0 {
+                let delay = policy.backoff_ms(fingerprint, attempt);
+                // Cap cumulative recorded backoff at the job's budget (its
+                // deadline): a retry that would blow the budget is not
+                // taken, so a job can never be accounted both
+                // `retried_valid` and `expired`.
+                if let Some(budget) = policy.backoff_budget_ms {
+                    if acc.backoff_ms + delay >= budget {
+                        acc.backoff_ms = budget;
+                        last_error = PceError::Timeout { ms: budget };
+                        break;
+                    }
+                }
                 acc.retries += 1;
-                acc.backoff_ms += policy.backoff_ms(fingerprint, attempt);
+                acc.backoff_ms += delay;
             }
             let (result, injected) =
                 self.complete_attempt(model_name, prompt, sampling, seed, attempt);
@@ -900,6 +912,7 @@ mod tests {
                 timeout: 1.0,
                 ..pce_fault::FaultRates::zero()
             },
+            wire: pce_fault::WireRates::zero(),
         };
         let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
         let err = engine.complete_prompt("o1", "hello", None, 0).unwrap_err();
@@ -918,6 +931,42 @@ mod tests {
     }
 
     #[test]
+    fn backoff_budget_caps_recorded_delay_and_stops_retrying() {
+        let plan = FaultPlan {
+            seed: 1,
+            rates: pce_fault::FaultRates {
+                timeout: 1.0,
+                ..pce_fault::FaultRates::zero()
+            },
+            wire: pce_fault::WireRates::zero(),
+        };
+        let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
+        let unbudgeted =
+            engine.complete_with_retry("o1", "hello", None, 0, &RetryPolicy::default());
+        assert!(unbudgeted.accounting.backoff_ms > 0);
+
+        // A budget below the unbudgeted total must cut retries short, pin
+        // the recorded backoff at exactly the budget, and surface a
+        // deadline timeout.
+        let budget = unbudgeted.accounting.backoff_ms / 2;
+        let policy = RetryPolicy::default().with_budget(budget);
+        let out = engine.complete_with_retry("o1", "hello", None, 0, &policy);
+        assert!(out.accounting.retries < unbudgeted.accounting.retries);
+        assert_eq!(out.accounting.backoff_ms, budget);
+        assert_eq!(out.accounting.invalid, 1);
+        assert!(out.accounting.balanced());
+        assert_eq!(
+            out.error.unwrap().to_string(),
+            format!("request timed out after {budget} ms")
+        );
+
+        // A roomy budget changes nothing.
+        let roomy = RetryPolicy::default().with_budget(u64::MAX);
+        let same = engine.complete_with_retry("o1", "hello", None, 0, &roomy);
+        assert_eq!(same.accounting, unbudgeted.accounting);
+    }
+
+    #[test]
     fn refusals_terminate_without_retry() {
         let plan = FaultPlan {
             seed: 1,
@@ -925,6 +974,7 @@ mod tests {
                 refuse: 1.0,
                 ..pce_fault::FaultRates::zero()
             },
+            wire: pce_fault::WireRates::zero(),
         };
         let engine = SurrogateEngine::with_caches_and_faults(LlmCaches::new(), Some(plan));
         let out = engine.complete_with_retry("o1", "hello", None, 0, &RetryPolicy::default());

@@ -139,6 +139,7 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
             spec: "rtx-3080".into(),
             model: "o3-mini".into(),
             style: ShotStyle::FewShot,
+            deadline_ms: None,
         }))
     );
 }

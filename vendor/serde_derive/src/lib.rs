@@ -4,10 +4,13 @@
 //!
 //! Supported shapes — exactly what this workspace uses:
 //! * structs with named fields,
-//! * enums with unit, tuple, and struct variants (externally tagged).
+//! * enums with unit, tuple, and struct variants (externally tagged),
+//! * `#[serde(default)]` on named fields: a missing key deserializes via
+//!   `Default::default()` instead of erroring, so extended schemas keep
+//!   reading pre-extension JSON.
 //!
-//! Generics, tuple structs, and `#[serde(...)]` attributes are not
-//! supported and fail loudly at expansion time.
+//! Generics, tuple structs, and other `#[serde(...)]` attributes are not
+//! supported; unrecognized attributes are skipped.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 use std::fmt::Write;
@@ -19,12 +22,19 @@ use std::fmt::Write;
 enum Item {
     Struct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     Enum {
         name: String,
         variants: Vec<Variant>,
     },
+}
+
+struct Field {
+    name: String,
+    /// Marked `#[serde(default)]`: a missing key falls back to
+    /// `Default::default()` on deserialize.
+    default: bool,
 }
 
 struct Variant {
@@ -35,7 +45,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 // ---------------------------------------------------------------------------
@@ -95,17 +105,36 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parse `attr* vis? name: Type,` sequences, returning the field names.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Whether an attribute's `[...]` stream spells `serde(default)`.
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let mut toks = attr.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parse `attr* vis? name: Type,` sequences, returning the fields.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
-        // Skip attributes and visibility.
+        // Skip attributes and visibility, noting `#[serde(default)]`.
+        let mut default = false;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        default |= attr_is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -151,7 +180,10 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
                 None => break,
             }
         }
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
     fields
 }
@@ -231,7 +263,7 @@ fn count_tuple_slots(stream: TokenStream) -> usize {
 // ---------------------------------------------------------------------------
 
 /// Derive the vendored `serde::Serialize` trait.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let mut out = String::new();
@@ -240,6 +272,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let mut body = String::new();
             body.push_str("let mut m = ::serde::value::Map::new();\n");
             for f in fields {
+                let f = &f.name;
                 let _ = writeln!(
                     body,
                     "m.insert(::std::string::String::from(\"{f}\"), \
@@ -288,9 +321,14 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         );
                     }
                     VariantKind::Struct(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inserts = String::new();
                         for f in fields {
+                            let f = &f.name;
                             let _ = writeln!(
                                 inserts,
                                 "m.insert(::std::string::String::from(\"{f}\"), \
@@ -321,7 +359,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive the vendored `serde::Deserialize` trait.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let mut out = String::new();
@@ -329,12 +367,21 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Item::Struct { name, fields } => {
             let mut inits = String::new();
             for f in fields {
+                let absent = if f.default {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::Error::missing(\"{name}\", \"{f}\"))",
+                        f = f.name
+                    )
+                };
+                let f = &f.name;
                 let _ = writeln!(
                     inits,
                     "{f}: match m.get(\"{f}\") {{\n\
                      Some(x) => ::serde::Deserialize::from_value(x)\
                      .map_err(|e| e.at(\"{f}\"))?,\n\
-                     None => return Err(::serde::Error::missing(\"{name}\", \"{f}\")),\n}},"
+                     None => {absent},\n}},"
                 );
             }
             let _ = write!(
@@ -387,13 +434,22 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                     VariantKind::Struct(fields) => {
                         let mut inits = String::new();
                         for f in fields {
+                            let absent = if f.default {
+                                "::std::default::Default::default()".to_string()
+                            } else {
+                                format!(
+                                    "return Err(::serde::Error::missing(\
+                                     \"{name}::{vn}\", \"{f}\"))",
+                                    f = f.name
+                                )
+                            };
+                            let f = &f.name;
                             let _ = writeln!(
                                 inits,
                                 "{f}: match fm.get(\"{f}\") {{\n\
                                  Some(x) => ::serde::Deserialize::from_value(x)\
                                  .map_err(|e| e.at(\"{f}\"))?,\n\
-                                 None => return Err(::serde::Error::missing(\
-                                 \"{name}::{vn}\", \"{f}\")),\n}},"
+                                 None => {absent},\n}},"
                             );
                         }
                         let _ = writeln!(
