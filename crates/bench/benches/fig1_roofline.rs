@@ -9,7 +9,7 @@ use pce_core::study::StudyData;
 
 fn bench_fig1(c: &mut Criterion) {
     let study = bench_study();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let mut g = c.benchmark_group("fig1");
     g.sample_size(10);
     g.bench_function("with_cache", |b| {

@@ -10,7 +10,7 @@ use pce_dataset::run_pipeline;
 
 fn bench_fig2(c: &mut Criterion) {
     let study = bench_study();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let mut g = c.benchmark_group("fig2");
     g.sample_size(10);
     g.bench_function("stats_only", |b| {

@@ -11,7 +11,7 @@ use pce_prompt::ShotStyle;
 
 fn bench_rq3(c: &mut Criterion) {
     let study = bench_study();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let engine = SurrogateEngine::new();
     let mut g = c.benchmark_group("rq3_few_shot");
     g.sample_size(10);

@@ -8,7 +8,7 @@ use pce_core::study::StudyData;
 
 fn bench_rq4(c: &mut Criterion) {
     let study = bench_study();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let mut g = c.benchmark_group("rq4");
     g.sample_size(10);
     g.bench_function("finetune_and_validate", |b| {

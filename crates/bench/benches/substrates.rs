@@ -15,7 +15,8 @@ fn bench_profiler(c: &mut Criterion) {
         seed: 1,
         cuda_programs: 32,
         omp_programs: 0,
-    });
+    })
+    .expect("corpus builds");
     let profiler = Profiler::new(HardwareSpec::rtx_3080());
     let mut g = c.benchmark_group("gpu_sim");
     g.throughput(Throughput::Elements(corpus.len() as u64));
@@ -34,7 +35,8 @@ fn bench_tokenizer(c: &mut Criterion) {
         seed: 2,
         cuda_programs: 24,
         omp_programs: 0,
-    });
+    })
+    .expect("corpus builds");
     let docs: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
     let tok = Tokenizer::new(BpeTrainer::new(800).train(docs.iter().copied()));
     let bytes: usize = docs.iter().map(|d| d.len()).sum();
@@ -64,7 +66,8 @@ fn bench_static_analysis(c: &mut Criterion) {
         seed: 3,
         cuda_programs: 16,
         omp_programs: 16,
-    });
+    })
+    .expect("corpus builds");
     let opts = AnalyzeOptions::default();
     let bytes: usize = corpus.iter().map(|p| p.source.len()).sum();
     let mut g = c.benchmark_group("static_analysis");
@@ -82,11 +85,14 @@ fn bench_static_analysis(c: &mut Criterion) {
 fn bench_corpus_generation(c: &mut Criterion) {
     c.bench_function("corpus/generate_64_programs", |b| {
         b.iter(|| {
-            std::hint::black_box(build_corpus(&CorpusConfig {
-                seed: 4,
-                cuda_programs: 48,
-                omp_programs: 16,
-            }))
+            std::hint::black_box(
+                build_corpus(&CorpusConfig {
+                    seed: 4,
+                    cuda_programs: 48,
+                    omp_programs: 16,
+                })
+                .expect("corpus builds"),
+            )
         })
     });
 }

@@ -12,6 +12,7 @@ fn corpus_docs() -> Vec<String> {
         cuda_programs: 48,
         omp_programs: 36,
     })
+    .expect("corpus builds")
     .into_iter()
     .map(|p| p.source)
     .collect()

@@ -6,7 +6,7 @@ use std::time::Instant;
 
 fn main() {
     let study = Study::smoke();
-    let corpus = build_corpus(&study.corpus);
+    let corpus = build_corpus(&study.corpus).expect("corpus builds");
     let sources: Vec<&str> = corpus.iter().map(|p| p.source.as_str()).collect();
     let training: Vec<&str> = sources
         .iter()

@@ -13,7 +13,7 @@ fn main() {
     } else {
         Study::default()
     };
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     println!(
         "dataset: {} samples (per-combo {})",
         data.dataset.len(),

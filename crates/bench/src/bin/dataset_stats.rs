@@ -8,7 +8,7 @@ use pce_dataset::run_pipeline;
 
 fn main() {
     let study = study_from_args();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     println!("{}", render_funnel(&data.report));
 
     // Pre-funnel token distribution over the raw corpus, straight from

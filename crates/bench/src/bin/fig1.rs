@@ -10,7 +10,7 @@ use pce_core::study::StudyData;
 fn main() {
     let study = study_from_args();
     let cache = !std::env::args().any(|a| a == "--no-cache");
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let fig = build_fig1(&study, &data.corpus, cache);
     print!("{}", render_fig1_summary(&fig));
     let csv = render_fig1_csv(&fig);

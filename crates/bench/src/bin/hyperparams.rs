@@ -8,7 +8,7 @@ use pce_llm::SurrogateEngine;
 
 fn main() {
     let study = study_from_args();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let engine = SurrogateEngine::new();
     for model in ["gemini-2.0-flash-001", "gpt-4o-mini", "gpt-4o-2024-11-20"] {
         let check = run_hyperparam_check(&study, &engine, model, &data.dataset.samples);

@@ -88,7 +88,7 @@ fn u64_flag(args: &[String], flag: &str, default: u64) -> u64 {
 
 /// The seeded job mix: uniform over kernels × presets × models × styles.
 fn job_mix(study: &Study, jobs: usize, seed: u64) -> Vec<Job> {
-    let programs = pce_kernels::build_corpus(&study.corpus);
+    let programs = pce_kernels::build_corpus(&study.corpus).expect("corpus builds");
     let kernel_ids: Vec<String> = programs.into_iter().map(|p| p.id).collect();
     // Preset names carry spaces ("AMD Instinct MI250X"); the protocol is
     // whitespace-tokenized, so emit dash slugs — `preset_by_name` resolves
@@ -196,7 +196,8 @@ fn run_storm(study: &Study, jobs: &[Job], batch: usize, depth: usize) -> StormRe
     let (mut completed, mut shed, mut expired, mut goodput) = (0u64, 0u64, 0u64, 0.0f64);
     for threads in [1usize, 4] {
         std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
-        let service = PredictionService::new(study.clone(), Some(CacheBudget::uniform(256 * 1024)));
+        let service = PredictionService::new(study.clone(), Some(CacheBudget::uniform(256 * 1024)))
+            .expect("service builds");
         let mut out = Vec::new();
         let t0 = Instant::now();
         if let Err(e) = service.serve_session(input.as_bytes(), &mut out, &config) {
@@ -327,11 +328,12 @@ fn main() {
     // Identity check: bounded (evicting) vs unbounded transcripts must be
     // byte-identical — evictions only cost recomputation, never answers.
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    let bounded = PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)));
+    let bounded = PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)))
+        .expect("service builds");
     let (bounded_lines, _, _) = replay(&bounded, &jobs, batch);
     let report = bounded.caches().report();
     let (evictions, resident) = (report.total_evictions(), report.total_resident_bytes());
-    let unbounded = PredictionService::new(study.clone(), None);
+    let unbounded = PredictionService::new(study.clone(), None).expect("service builds");
     let (unbounded_lines, _, _) = replay(&unbounded, &jobs, batch);
     let matched = bounded_lines == unbounded_lines;
     eprintln!(
@@ -360,7 +362,8 @@ fn main() {
     for threads in counts {
         std::env::set_var("RAYON_NUM_THREADS", threads.to_string());
         let service =
-            PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)));
+            PredictionService::new(study.clone(), Some(CacheBudget::uniform(cache_bytes)))
+                .expect("service builds");
         let (lines, latencies, total_ms) = replay(&service, &jobs, batch);
         if lines != bounded_lines {
             eprintln!("transcript at {threads} threads diverged from the 4-thread run");

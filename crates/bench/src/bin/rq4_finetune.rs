@@ -8,6 +8,6 @@ use pce_core::study::StudyData;
 
 fn main() {
     let study = study_from_args();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     println!("{}", render_rq4(&run_rq4(&study, &data.split)));
 }

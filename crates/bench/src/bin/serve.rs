@@ -114,7 +114,7 @@ fn main() {
         ) as u32,
         ..defaults
     };
-    let service = Arc::new(PredictionService::new(study, budget));
+    let service = Arc::new(PredictionService::new(study, budget).expect("service builds"));
     eprintln!(
         "serving {} kernels (batch={batch}, queue {}, caches {})",
         service.programs().len(),

@@ -10,7 +10,7 @@ use pce_core::table1::build_table1;
 
 fn main() {
     let study = study_from_args();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     println!("{}", render_funnel(&data.report));
     let table = build_table1(&study, &data);
     println!("{}", render_table1(&table));

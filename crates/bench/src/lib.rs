@@ -14,6 +14,7 @@
 //! | `rq4_finetune` | §3.7 fine-tuning collapse |
 //! | `hyperparams` | §3.2 chi-squared sampling-parameter check |
 //! | `dataset_stats` | §2.1–2.2 dataset funnel |
+//! | `pipeline` | Streamed pipeline at 10k+-variant scale (`BENCH_pipeline.json`) |
 //!
 //! All binaries accept `--smoke` for a reduced-scale run (CI-friendly) and
 //! default to the paper-scale study otherwise; `suite` also accepts

@@ -123,7 +123,7 @@ mod tests {
     #[test]
     fn insight_and_reuse_awareness_both_buy_accuracy() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let points = run_capability_ablation(&study, &data.dataset.samples);
         assert_eq!(points.len(), 5);
         // More insight (at fixed reuse) must not hurt much; the extremes

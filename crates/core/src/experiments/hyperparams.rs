@@ -93,7 +93,7 @@ mod tests {
     #[test]
     fn sampling_params_have_no_significant_effect() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         let check = run_hyperparam_check(
             &study,

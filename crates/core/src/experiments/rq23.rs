@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn reasoning_beats_non_reasoning_zero_shot() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         let strong = run_classification(
             &study,
@@ -176,7 +176,7 @@ mod tests {
     #[test]
     fn few_shot_changes_little_for_reasoning_models() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         let zero = run_classification(
             &study,
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn prompted_runner_matches_inline_rendering_across_engines() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         for style in [ShotStyle::ZeroShot, ShotStyle::FewShot] {
             let prompts = render_prompts(&study, &data.dataset.samples, style);
@@ -246,7 +246,7 @@ mod tests {
     #[should_panic(expected = "not aligned")]
     fn misaligned_prompts_are_rejected() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         let mut prompts = render_prompts(&study, &data.dataset.samples, ShotStyle::ZeroShot);
         prompts.pop();
@@ -263,7 +263,7 @@ mod tests {
     #[test]
     fn outcome_metrics_match_confusion_matrix() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let engine = SurrogateEngine::new();
         let out = run_classification(
             &study,

@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn finetuning_collapses_to_one_class_on_paper_scale_data() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let out = run_rq4(&study, &data.split);
         // The §3.7 signature: the model devolves to answering one class.
         assert!(

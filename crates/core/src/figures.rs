@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn fig1_shows_bb_majority_for_sp_and_int() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let fig = build_fig1(&study, &data.corpus, true);
         // §2.1: "the majority of the SP-FLOP and INT samples are BB".
         assert!(
@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn cache_ablation_shifts_scatter_toward_bandwidth() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let cached = build_fig1(&study, &data.corpus, true);
         let uncached = build_fig1(&study, &data.corpus, false);
         // Without the cache model, DRAM traffic rises, AI falls, and more
@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn fig2_rows_cover_both_splits() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let fig = build_fig2(&data.split);
         assert_eq!(fig.rows.len(), 8);
         assert!(fig.rows.iter().any(|r| r.split == "train"));

@@ -26,7 +26,7 @@
 //! use pce_core::table1::build_table1;
 //!
 //! let study = Study::default();
-//! let data = StudyData::build(&study);
+//! let data = StudyData::build(&study).expect("study builds");
 //! let table = build_table1(&study, &data);
 //! println!("{}", pce_core::report::render_table1(&table));
 //! ```

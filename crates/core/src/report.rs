@@ -314,6 +314,13 @@ pub fn render_funnel(report: &PipelineReport) -> String {
         "  train/validation: {}/{}",
         report.train_size, report.validation_size
     );
+    let _ = writeln!(
+        out,
+        "  profile dedup: {} unique / {} duplicate ({:.1}% hit rate)",
+        report.dedup.unique,
+        report.dedup.duplicates,
+        report.dedup.hit_rate() * 100.0
+    );
     out
 }
 
@@ -403,7 +410,7 @@ mod tests {
     #[test]
     fn funnel_report_renders_all_stages() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let text = render_funnel(&data.report);
         for needle in ["built", "pruning", "balanced per-cell", "train/validation"] {
             assert!(text.contains(needle), "missing {needle}");
@@ -462,7 +469,7 @@ mod tests {
     #[test]
     fn fig_renderers_produce_parseable_output() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let fig1 = build_fig1(&study, &data.corpus, true);
         let csv = render_fig1_csv(&fig1);
         assert!(csv.starts_with("series,id,ai,gops,verdict"));

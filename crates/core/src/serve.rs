@@ -503,8 +503,9 @@ impl PredictionService {
     /// Build a service: generate the study's corpus, stand up a cache
     /// bundle (bounded per `budget`, unbounded when `None`), and wire the
     /// engine through it — chaos included if the study carries any.
-    pub fn new(study: Study, budget: Option<CacheBudget>) -> PredictionService {
-        let programs = build_corpus(&study.corpus);
+    /// Fails only when corpus generation does.
+    pub fn new(study: Study, budget: Option<CacheBudget>) -> Result<PredictionService, PceError> {
+        let programs = build_corpus(&study.corpus)?;
         let index = programs
             .iter()
             .enumerate()
@@ -519,7 +520,7 @@ impl PredictionService {
             study.chaos.as_ref().map(|c| c.plan.clone()),
         );
         let policy = study.chaos.as_ref().map(|c| c.retry).unwrap_or_default();
-        PredictionService {
+        Ok(PredictionService {
             study,
             programs,
             index,
@@ -527,7 +528,7 @@ impl PredictionService {
             engine,
             policy,
             ledgers: Mutex::new(BTreeMap::new()),
-        }
+        })
     }
 
     /// The corpus this service answers jobs against, in corpus order.

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use pce_dataset::{run_pipeline, Dataset, PipelineConfig, PipelineReport, Split};
-use pce_fault::{FaultPlan, RetryPolicy};
+use pce_fault::{FaultPlan, PceError, RetryPolicy};
 use pce_kernels::{build_corpus, CorpusConfig, Program};
 use pce_roofline::SpecPair;
 
@@ -116,16 +116,18 @@ pub struct StudyData {
 }
 
 impl StudyData {
-    /// Build everything once; reused by every experiment.
-    pub fn build(study: &Study) -> StudyData {
-        let corpus = build_corpus(&study.corpus);
+    /// Build everything once; reused by every experiment. Fails only when
+    /// corpus generation does (a family registry violation, surfaced as
+    /// [`PceError::Spec`]).
+    pub fn build(study: &Study) -> Result<StudyData, PceError> {
+        let corpus = build_corpus(&study.corpus)?;
         let (dataset, split, report) = run_pipeline(&corpus, &study.pipeline);
-        StudyData {
+        Ok(StudyData {
             corpus,
             dataset,
             split,
             report,
-        }
+        })
     }
 }
 
@@ -146,7 +148,7 @@ mod tests {
 
     #[test]
     fn smoke_study_builds_balanced_data() {
-        let data = StudyData::build(&Study::smoke());
+        let data = StudyData::build(&Study::smoke()).expect("study builds");
         assert!(!data.dataset.is_empty());
         assert_eq!(data.dataset.len() % 4, 0, "4 balanced cells");
         assert_eq!(

@@ -145,14 +145,15 @@ pub struct SharedBuild {
 }
 
 impl SharedBuild {
-    /// Build the shared half from the suite's base study.
-    pub fn build(suite: &Suite) -> SharedBuild {
+    /// Build the shared half from the suite's base study. Fails only when
+    /// corpus generation does.
+    pub fn build(suite: &Suite) -> Result<SharedBuild, PceError> {
         SharedBuild::build_cached(suite, &SuiteCaches::new())
     }
 
     /// [`SharedBuild::build`] against a shared cache bundle (the RQ1 bank
     /// routes its prompt parsing through the bundle's caches).
-    pub fn build_cached(suite: &Suite, caches: &SuiteCaches) -> SharedBuild {
+    pub fn build_cached(suite: &Suite, caches: &SuiteCaches) -> Result<SharedBuild, PceError> {
         SharedBuild::build_instrumented(suite, caches, &mut |_, _| {})
     }
 
@@ -164,9 +165,9 @@ impl SharedBuild {
         suite: &Suite,
         caches: &SuiteCaches,
         stage: &mut dyn FnMut(&'static str, Instant),
-    ) -> SharedBuild {
+    ) -> Result<SharedBuild, PceError> {
         let t = Instant::now();
-        let corpus = build_corpus(&suite.base.corpus);
+        let corpus = build_corpus(&suite.base.corpus)?;
         stage("corpus", t);
 
         let t = Instant::now();
@@ -177,11 +178,11 @@ impl SharedBuild {
         let rq1 = Rq1Bank::build_cached(&suite.base, &caches.llm);
         stage("rq1-bank", t);
 
-        SharedBuild {
+        Ok(SharedBuild {
             corpus,
             tokenized,
             rq1,
-        }
+        })
     }
 }
 
@@ -403,7 +404,7 @@ pub fn run_suite(suite: &Suite) -> Result<SuiteOutcome, PceError> {
 /// across runs also reuses per-(kernel, spec) profiles and analyses;
 /// warm and cold bundles produce byte-identical outcomes.
 pub fn run_suite_cached(suite: &Suite, caches: &SuiteCaches) -> Result<SuiteOutcome, PceError> {
-    let shared = SharedBuild::build_cached(suite, caches);
+    let shared = SharedBuild::build_cached(suite, caches)?;
     run_suite_shared_cached(suite, &shared, caches)
 }
 
@@ -605,7 +606,7 @@ pub fn run_suite_timed(
 
     // Exactly the untimed pipeline, observed: the shared build and the
     // spec evaluation are the same functions run_suite_cached composes.
-    let shared = SharedBuild::build_instrumented(suite, caches, &mut stage);
+    let shared = SharedBuild::build_instrumented(suite, caches, &mut stage)?;
 
     let t = Instant::now();
     let cells = run_specs(suite, &shared, caches);

@@ -233,7 +233,7 @@ mod tests {
     #[test]
     fn smoke_table_has_nine_rows_with_paper_shape() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let table = build_table1(&study, &data);
         assert_eq!(table.rows.len(), 9);
         assert!(table.total_cost > 0.0);
@@ -282,7 +282,7 @@ mod tests {
     #[test]
     fn bank_reuse_matches_inline_build_including_cost() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let inline = build_table1(&study, &data);
         let bank = Rq1Bank::build(&study);
         let detail_a = build_table1_from_bank(&study, &data.dataset.samples, &bank);
@@ -308,7 +308,7 @@ mod tests {
     #[test]
     fn cached_assembly_is_bit_identical_including_cost() {
         let study = Study::smoke();
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let caches = SuiteCaches::new();
         let bank = Rq1Bank::build_cached(&study, &caches.llm);
         assert_eq!(

@@ -23,6 +23,7 @@
 pub mod pipeline;
 pub mod sample;
 pub mod stats;
+pub mod stream;
 
 pub use pipeline::{
     run_pipeline, run_pipeline_cached, run_pipeline_with, tokenize_corpus, Dataset, PipelineConfig,
@@ -30,3 +31,4 @@ pub use pipeline::{
 };
 pub use sample::Sample;
 pub use stats::{combo_counts, fig2_stats, Fig2Row};
+pub use stream::{run_pipeline_streamed, run_pipeline_streamed_timed, StageTiming};

@@ -7,8 +7,10 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+use pce_fault::PceError;
 use pce_gpu_sim::{Profiler, SimCaches};
 use pce_kernels::{Language, Program};
+use pce_memo::{DedupStats, Fnv, StreamDedup};
 use pce_roofline::{classify_joint, Boundedness, SpecPair};
 use pce_tokenizer::{token_quartiles, BpeTrainer, TokenStats, Tokenizer};
 
@@ -68,13 +70,17 @@ impl Dataset {
     }
 
     /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("dataset serialization cannot fail")
+    ///
+    /// Fails with [`PceError::Io`] if the serializer reports an error —
+    /// in practice only under resource exhaustion, but the signature is
+    /// honest about it rather than panicking inside a library crate.
+    pub fn to_json(&self) -> Result<String, PceError> {
+        serde_json::to_string_pretty(self).map_err(|e| PceError::io(e.to_string()))
     }
 
     /// Deserialize from JSON.
-    pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+    pub fn from_json(json: &str) -> Result<Self, PceError> {
+        serde_json::from_str(json).map_err(|e| PceError::parse(e.to_string()))
     }
 }
 
@@ -153,6 +159,14 @@ pub struct PipelineReport {
     pub train_size: usize,
     /// Validation size (paper: 68).
     pub validation_size: usize,
+    /// Profile-level dedup over the input corpus: how many programs map
+    /// to an (IR, launch, routed-hardware) tuple already seen earlier in
+    /// corpus order. Variant-expanded corpora dedup heavily here — a
+    /// duplicate's profile is a memo hit, not a recompute. `hit_rate()`
+    /// is the headline number. Defaults for reports serialized before
+    /// this field existed.
+    #[serde(default)]
+    pub dedup: DedupStats,
 }
 
 /// Run the full pipeline over a corpus.
@@ -216,18 +230,172 @@ pub fn run_pipeline_cached(
 }
 
 /// One profiler per machine class, selected by each program's language.
-struct RoutedProfilers {
-    gpu: Profiler,
-    cpu: Profiler,
+pub(crate) struct RoutedProfilers {
+    pub(crate) gpu: Profiler,
+    pub(crate) cpu: Profiler,
 }
 
 impl RoutedProfilers {
-    fn for_language(&self, language: Language) -> &Profiler {
+    pub(crate) fn for_language(&self, language: Language) -> &Profiler {
         match language.spec_class() {
             pce_roofline::SpecClass::Gpu => &self.gpu,
             pce_roofline::SpecClass::Cpu => &self.cpu,
         }
     }
+}
+
+/// The lightweight per-program record the selection stages operate on.
+///
+/// Pruning, balancing, and splitting only need these fields — never the
+/// source text or the profile — which is what lets the sharded stream
+/// (`crate::stream`) run selection over the whole corpus while holding
+/// full [`Sample`]s for at most one shard at a time.
+#[derive(Debug, Clone)]
+pub(crate) struct SampleMeta {
+    /// Position in the input corpus (stream index).
+    pub(crate) index: usize,
+    /// Program id (the balance/split sort key).
+    pub(crate) id: String,
+    /// Source language.
+    pub(crate) language: Language,
+    /// Ground-truth label against the routed spec.
+    pub(crate) label: Boundedness,
+    /// BPE token count of the source.
+    pub(crate) token_count: usize,
+}
+
+/// Outcome of the prune → balance → split selection, as metadata: which
+/// corpus indices land in each split, in final (id-sorted) order, plus
+/// the funnel counts the report needs.
+pub(crate) struct Selection {
+    pub(crate) built: BTreeMap<String, usize>,
+    pub(crate) after_prune: BTreeMap<String, usize>,
+    pub(crate) combo_before_balance: BTreeMap<String, usize>,
+    pub(crate) per_combo: usize,
+    pub(crate) train: Vec<SampleMeta>,
+    pub(crate) validation: Vec<SampleMeta>,
+}
+
+/// Prune by token count, balance (language × class) cells, and split —
+/// entirely on metadata, in corpus order.
+///
+/// Both the materialized and the sharded pipeline call this exact
+/// function, which is what makes their outputs byte-identical: the
+/// seeded shuffle permutation depends only on each cell's length and the
+/// RNG stream, so shuffling metadata reproduces precisely the
+/// permutation the historical code applied to full samples.
+///
+/// # Panics
+/// Panics when two programs share an id — that means corpus generation
+/// broke its uniqueness invariant upstream.
+pub(crate) fn select_and_balance(mut metas: Vec<SampleMeta>, cfg: &PipelineConfig) -> Selection {
+    let count_lang = |metas: &[SampleMeta]| {
+        let mut m = BTreeMap::new();
+        for s in metas {
+            *m.entry(s.language.label().to_string()).or_insert(0) += 1;
+        }
+        m
+    };
+    let built = count_lang(&metas);
+
+    // --- Token-count pruning --------------------------------------------
+    metas.retain(|m| m.token_count <= cfg.max_tokens);
+    let after_prune = count_lang(&metas);
+
+    // --- First kernel per program ----------------------------------------
+    // Corpus programs carry exactly one profiled kernel (the first in the
+    // object dump); a duplicate id would mean the invariant broke upstream.
+    {
+        let mut ids: Vec<&str> = metas.iter().map(|m| m.id.as_str()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate program ids in corpus");
+    }
+
+    // --- Balance (language × class) --------------------------------------
+    let mut by_combo: BTreeMap<(Language, Boundedness), Vec<SampleMeta>> = BTreeMap::new();
+    for m in metas {
+        by_combo.entry((m.language, m.label)).or_default().push(m);
+    }
+    let combo_before_balance = by_combo
+        .iter()
+        .map(|((lang, label), v)| (format!("{}/{}", lang.label(), label.short()), v.len()))
+        .collect();
+    let min_cell = by_combo.values().map(|v| v.len()).min().unwrap_or(0);
+    let per_combo = min_cell.min(cfg.per_combo_cap);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut train = Vec::with_capacity(per_combo * 4);
+    let mut validation = Vec::with_capacity(per_combo * 4);
+    for (_, mut cell) in by_combo {
+        cell.shuffle(&mut rng);
+        cell.truncate(per_combo);
+        // Split inside each cell so both splits stay balanced (§2.2: 68
+        // train + 17 validation per cell).
+        let train_n = (per_combo as f64 * cfg.train_fraction).round() as usize;
+        for (i, m) in cell.into_iter().enumerate() {
+            if i < train_n {
+                train.push(m);
+            } else {
+                validation.push(m);
+            }
+        }
+    }
+    // Deterministic final ordering.
+    train.sort_by(|a, b| a.id.cmp(&b.id));
+    validation.sort_by(|a, b| a.id.cmp(&b.id));
+    Selection {
+        built,
+        after_prune,
+        combo_before_balance,
+        per_combo,
+        train,
+        validation,
+    }
+}
+
+/// Merge two id-sorted sample slices into the balanced union: one bulk
+/// clone pass, no re-sort.
+pub(crate) fn merge_sorted(train: &[Sample], validation: &[Sample]) -> Vec<Sample> {
+    let mut balanced = Vec::with_capacity(train.len() + validation.len());
+    let (mut t, mut v) = (train.iter().peekable(), validation.iter().peekable());
+    loop {
+        let take_train = match (t.peek(), v.peek()) {
+            (Some(a), Some(b)) => a.id <= b.id,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let next = if take_train { t.next() } else { v.next() };
+        if let Some(s) = next {
+            balanced.push(s.clone());
+        }
+    }
+    balanced
+}
+
+/// Fingerprint of the profiling work one program induces: the (kernel
+/// IR, launch, routed hardware) tuple, folded with the same word-granular
+/// FNV the profile memo keys on. Two programs with equal fingerprints
+/// profile identically — the second one's profile is a memo hit.
+///
+/// Computed with a standalone [`Fnv`] accumulator, never through the
+/// [`SimCaches`] tables, so dedup accounting adds zero hit/miss traffic
+/// to the profile memo counters.
+pub(crate) fn profile_fingerprint(p: &Program, hw_name: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(p.ir.fingerprint());
+    h.map_u64(&p.launch.params);
+    for d in [p.launch.grid, p.launch.block] {
+        h.u64(d.x as u64);
+        h.u64(d.y as u64);
+        h.u64(d.z as u64);
+    }
+    h.u64(p.launch.regs_per_thread as u64);
+    h.u64(p.launch.shared_bytes_per_block as u64);
+    h.str(hw_name);
+    h.finish()
 }
 
 fn run_pipeline_impl(
@@ -250,7 +418,7 @@ fn run_pipeline_impl(
     let raw_token_stats = tokenized.raw_token_stats;
 
     // --- Profile + label (parallel) --------------------------------------
-    let mut samples: Vec<Sample> = corpus
+    let samples: Vec<Sample> = corpus
         .par_iter()
         .enumerate()
         .map(|(i, p)| {
@@ -277,91 +445,46 @@ fn run_pipeline_impl(
         .collect();
     let corpus_labels: Vec<Boundedness> = samples.iter().map(|s| s.label).collect();
 
-    let count_lang = |samples: &[Sample]| {
-        let mut m = BTreeMap::new();
-        for s in samples {
-            *m.entry(s.language.label().to_string()).or_insert(0) += 1;
-        }
-        m
-    };
-    let built = count_lang(&samples);
-
-    // --- Token-count pruning --------------------------------------------
-    samples.retain(|s| s.token_count <= cfg.max_tokens);
-    let after_prune = count_lang(&samples);
-
-    // --- First kernel per program ----------------------------------------
-    // Corpus programs carry exactly one profiled kernel (the first in the
-    // object dump); a duplicate id would mean the invariant broke upstream.
-    {
-        let mut ids: Vec<&str> = samples.iter().map(|s| s.id.as_str()).collect();
-        ids.sort_unstable();
-        let before = ids.len();
-        ids.dedup();
-        assert_eq!(ids.len(), before, "duplicate program ids in corpus");
+    // --- Profile-dedup accounting (sequential, corpus order) -------------
+    // Standalone Fnv fold: adds no traffic to the SimCaches counters and
+    // is independent of thread count and sharding.
+    let mut dedup = StreamDedup::new();
+    for p in corpus {
+        let hw = profilers.for_language(p.language).hardware();
+        dedup.observe(profile_fingerprint(p, &hw.name));
     }
 
-    // --- Balance (language × class) --------------------------------------
-    let mut by_combo: BTreeMap<(Language, Boundedness), Vec<Sample>> = BTreeMap::new();
-    for s in samples {
-        by_combo.entry(s.combo()).or_default().push(s);
-    }
-    let combo_before_balance = by_combo
+    // --- Prune → balance → split (shared with the sharded stream) --------
+    let metas = samples
         .iter()
-        .map(|((lang, label), v)| (format!("{}/{}", lang.label(), label.short()), v.len()))
+        .enumerate()
+        .map(|(i, s)| SampleMeta {
+            index: i,
+            id: s.id.clone(),
+            language: s.language,
+            label: s.label,
+            token_count: s.token_count,
+        })
         .collect();
-    let min_cell = by_combo.values().map(|v| v.len()).min().unwrap_or(0);
-    let per_combo = min_cell.min(cfg.per_combo_cap);
-
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    let mut train = Vec::with_capacity(per_combo * 4);
-    let mut validation = Vec::with_capacity(per_combo * 4);
-    for (_, mut cell) in by_combo {
-        cell.shuffle(&mut rng);
-        cell.truncate(per_combo);
-        // Split inside each cell so both splits stay balanced (§2.2: 68
-        // train + 17 validation per cell). Samples are *moved* into their
-        // split here; the balanced union is materialised afterwards with
-        // exactly one deep clone per sample.
-        let train_n = (per_combo as f64 * cfg.train_fraction).round() as usize;
-        for (i, s) in cell.into_iter().enumerate() {
-            if i < train_n {
-                train.push(s);
-            } else {
-                validation.push(s);
-            }
-        }
-    }
-    // Deterministic final ordering.
-    train.sort_by(|a, b| a.id.cmp(&b.id));
-    validation.sort_by(|a, b| a.id.cmp(&b.id));
-    // Balanced dataset = sorted merge of the two (already sorted) splits:
-    // one bulk clone pass, no re-sort.
-    let mut balanced = Vec::with_capacity(train.len() + validation.len());
-    {
-        let (mut t, mut v) = (train.iter().peekable(), validation.iter().peekable());
-        loop {
-            let take_train = match (t.peek(), v.peek()) {
-                (Some(a), Some(b)) => a.id <= b.id,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => break,
-            };
-            let next = if take_train { t.next() } else { v.next() };
-            balanced.push(next.expect("peeked element exists").clone());
-        }
-    }
+    let selection = select_and_balance(metas, cfg);
+    let materialize = |metas: &[SampleMeta]| -> Vec<Sample> {
+        metas.iter().map(|m| samples[m.index].clone()).collect()
+    };
+    let train = materialize(&selection.train);
+    let validation = materialize(&selection.validation);
+    let balanced = merge_sorted(&train, &validation);
 
     let report = PipelineReport {
-        built,
+        built: selection.built,
         raw_token_stats,
-        after_prune,
+        after_prune: selection.after_prune,
         corpus_labels,
-        combo_before_balance,
-        per_combo,
+        combo_before_balance: selection.combo_before_balance,
+        per_combo: selection.per_combo,
         final_size: balanced.len(),
         train_size: train.len(),
         validation_size: validation.len(),
+        dedup: dedup.stats(),
     };
     (
         Dataset { samples: balanced },
@@ -386,6 +509,7 @@ mod tests {
             cuda_programs: 90,
             omp_programs: 72,
         })
+        .expect("corpus builds")
     }
 
     fn cfg() -> PipelineConfig {
@@ -549,7 +673,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let (dataset, _, _) = run_pipeline(&small_corpus(), &cfg());
-        let json = dataset.to_json();
+        let json = dataset.to_json().expect("dataset serializes");
         let back = Dataset::from_json(&json).unwrap();
         // Float fields may round-trip within 1 ULP (the JSON parser is not
         // shortest-repr exact); everything else must be identical.

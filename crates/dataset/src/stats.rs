@@ -73,7 +73,8 @@ mod tests {
             seed: 5,
             cuda_programs: 90,
             omp_programs: 72,
-        });
+        })
+        .expect("corpus builds");
         let cfg = PipelineConfig {
             per_combo_cap: 10,
             tokenizer_vocab: 400,
@@ -118,7 +119,8 @@ mod tests {
             seed: 5,
             cuda_programs: 20,
             omp_programs: 12,
-        });
+        })
+        .expect("corpus builds");
         let cfg = PipelineConfig {
             per_combo_cap: 4,
             tokenizer_vocab: 400,

@@ -1,0 +1,364 @@
+//! The sharded, bounded-memory streaming pipeline.
+//!
+//! [`run_pipeline_streamed`] runs the same corpus → tokenize → profile →
+//! label → balance funnel as [`run_pipeline`](crate::run_pipeline), but
+//! never materializes the corpus: programs are regenerated per shard from
+//! a [`CorpusSpec`] (generation is random-access — any index rebuilds
+//! from the seed alone), consumed, and dropped. Peak memory is
+//! `O(shard_size × rayon threads)` programs plus the final dataset,
+//! instead of `O(corpus)` samples.
+//!
+//! Stages:
+//!
+//! 1. **tokenize-train** — stream every `tokenizer_stride`-th source and
+//!    train the BPE tokenizer (the only stage whose footprint scales with
+//!    `corpus / stride`, same subsample as the materialized path).
+//! 2. **shard-profile** — rayon over shards: regenerate the shard's
+//!    programs, batch-count tokens, profile + label each against the
+//!    language-routed spec through the shared [`SimCaches`] memos, and
+//!    keep only lightweight [`SampleMeta`]s plus profile fingerprints.
+//!    Variant expansion makes many programs map to an identical
+//!    (IR, launch, hardware) tuple — those profile as memo hits, and the
+//!    fingerprints are folded (sequentially, in corpus order, so the
+//!    numbers are independent of sharding and thread count) into the
+//!    report's dedup statistics.
+//! 3. **select-balance** — the exact `select_and_balance` the
+//!    materialized path uses, on metadata only.
+//! 4. **materialize** — regenerate just the selected programs and build
+//!    full [`Sample`]s (their profiles are now warm memo hits).
+//!
+//! Output is byte-identical to running the materialized pipeline over
+//! `spec.stream().collect()`, for every shard size and
+//! `RAYON_NUM_THREADS` — pinned by the root `pipeline_stream` test.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use pce_fault::PceError;
+use pce_gpu_sim::{Profiler, SimCaches};
+use pce_kernels::CorpusSpec;
+use pce_memo::StreamDedup;
+use pce_roofline::classify_joint;
+use pce_tokenizer::{token_quartiles, BpeTrainer, Tokenizer};
+
+use crate::pipeline::{
+    merge_sorted, profile_fingerprint, select_and_balance, Dataset, PipelineConfig, PipelineReport,
+    RoutedProfilers, SampleMeta, Split,
+};
+use crate::sample::Sample;
+
+/// Wall-clock of one streamed-pipeline stage, for the bench baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageTiming {
+    /// Stage name (`tokenize-train`, `shard-profile`, `select-balance`,
+    /// `materialize`).
+    pub stage: String,
+    /// Elapsed seconds.
+    pub seconds: f64,
+}
+
+impl StageTiming {
+    fn new(stage: &str, elapsed: std::time::Duration) -> StageTiming {
+        StageTiming {
+            stage: stage.to_string(),
+            seconds: elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// Run the full pipeline over a (possibly variant-expanded) corpus spec
+/// as a sharded stream with bounded memory.
+///
+/// Byte-identical to materializing `spec.stream()` and running
+/// [`run_pipeline_cached`](crate::run_pipeline_cached), for any
+/// `shard_size ≥ 1` and any rayon thread count. The shared `caches` carry
+/// profile memos across shards (and across calls — re-streaming the same
+/// spec profiles zero new kernels).
+pub fn run_pipeline_streamed(
+    spec: &CorpusSpec,
+    cfg: &PipelineConfig,
+    caches: &SimCaches,
+    shard_size: usize,
+) -> Result<(Dataset, Split, PipelineReport), PceError> {
+    let (dataset, split, report, _) = run_pipeline_streamed_timed(spec, cfg, caches, shard_size)?;
+    Ok((dataset, split, report))
+}
+
+/// [`run_pipeline_streamed`], additionally reporting per-stage wall-clock
+/// timings (consumed by the `pipeline` bench bin's `BENCH_pipeline.json`
+/// baseline).
+pub fn run_pipeline_streamed_timed(
+    spec: &CorpusSpec,
+    cfg: &PipelineConfig,
+    caches: &SimCaches,
+    shard_size: usize,
+) -> Result<(Dataset, Split, PipelineReport, Vec<StageTiming>), PceError> {
+    let spec_errors = cfg.specs.validate();
+    if !spec_errors.is_empty() {
+        return Err(PceError::spec(format!(
+            "invalid spec pair: {spec_errors:?}"
+        )));
+    }
+    let shard_size = shard_size.max(1);
+    let total = spec.len();
+    let mut timings = Vec::with_capacity(4);
+
+    // --- Stage 1: tokenizer training (stride subsample, streamed) --------
+    let t = Instant::now();
+    let stride = cfg.tokenizer_stride.max(1);
+    let mut training_docs = Vec::with_capacity(total.div_ceil(stride));
+    let mut k = 0;
+    while k < total {
+        training_docs.push(spec.program(k)?.source);
+        k += stride;
+    }
+    let vocab =
+        BpeTrainer::new(cfg.tokenizer_vocab).train(training_docs.iter().map(|s| s.as_str()));
+    let tokenizer = Tokenizer::new(vocab);
+    drop(training_docs);
+    timings.push(StageTiming::new("tokenize-train", t.elapsed()));
+
+    // --- Stage 2: per-shard profile + label + token count -----------------
+    let t = Instant::now();
+    let profilers = RoutedProfilers {
+        gpu: Profiler::new(cfg.specs.gpu.clone()).with_caches(caches.clone()),
+        cpu: Profiler::new(cfg.specs.cpu.clone()).with_caches(caches.clone()),
+    };
+    let bounds: Vec<(usize, usize)> = (0..total)
+        .step_by(shard_size)
+        .map(|s| (s, (s + shard_size).min(total)))
+        .collect();
+    let shards: Vec<Result<Vec<(SampleMeta, u64)>, PceError>> = bounds
+        .par_iter()
+        .map(|&(start, end)| {
+            // The whole shard lives here and is dropped on return: only
+            // the metas survive.
+            let programs = spec
+                .stream_range(start, end)
+                .collect::<Result<Vec<_>, PceError>>()?;
+            let sources: Vec<&str> = programs.iter().map(|p| p.source.as_str()).collect();
+            let counts = tokenizer.count_batch(&sources);
+            let mut out = Vec::with_capacity(programs.len());
+            for (off, p) in programs.iter().enumerate() {
+                let profiler = profilers.for_language(p.language);
+                let hw = profiler.hardware();
+                let profile = profiler.profile_shared(&p.ir, &p.launch);
+                let label = classify_joint(hw, &profile.counts).label;
+                out.push((
+                    SampleMeta {
+                        index: start + off,
+                        id: p.id.clone(),
+                        language: p.language,
+                        label,
+                        token_count: counts[off],
+                    },
+                    profile_fingerprint(p, &hw.name),
+                ));
+            }
+            Ok(out)
+        })
+        .collect();
+    // Deterministic merge: shard order is corpus order, and the dedup fold
+    // runs sequentially over it, so the stats are independent of sharding
+    // and thread count.
+    let mut metas = Vec::with_capacity(total);
+    let mut dedup = StreamDedup::new();
+    let mut corpus_labels = Vec::with_capacity(total);
+    let mut token_counts = Vec::with_capacity(total);
+    for shard in shards {
+        for (meta, fp) in shard? {
+            dedup.observe(fp);
+            corpus_labels.push(meta.label);
+            token_counts.push(meta.token_count);
+            metas.push(meta);
+        }
+    }
+    let raw_token_stats = (!token_counts.is_empty()).then(|| token_quartiles(&token_counts));
+    drop(token_counts);
+    timings.push(StageTiming::new("shard-profile", t.elapsed()));
+
+    // --- Stage 3: prune → balance → split (shared with materialized) -----
+    let t = Instant::now();
+    let selection = select_and_balance(metas, cfg);
+    timings.push(StageTiming::new("select-balance", t.elapsed()));
+
+    // --- Stage 4: materialize only the selected samples -------------------
+    let t = Instant::now();
+    let materialize = |chosen: &[SampleMeta]| -> Result<Vec<Sample>, PceError> {
+        let rows: Vec<Result<Sample, PceError>> = chosen
+            .par_iter()
+            .map(|m| {
+                let p = spec.program(m.index)?;
+                let profiler = profilers.for_language(p.language);
+                let hw = profiler.hardware();
+                let profile = profiler.profile_shared(&p.ir, &p.launch);
+                Ok(Sample {
+                    id: p.id,
+                    family: p.family,
+                    language: p.language,
+                    kernel_name: p.kernel_name,
+                    geometry: p.launch.geometry_string(),
+                    source: p.source,
+                    args: p.args,
+                    token_count: m.token_count,
+                    spec_name: hw.name.clone(),
+                    spec_class: hw.class,
+                    counts: profile.counts,
+                    runtime_s: profile.runtime_s,
+                    label: m.label,
+                })
+            })
+            .collect();
+        rows.into_iter().collect()
+    };
+    let train = materialize(&selection.train)?;
+    let validation = materialize(&selection.validation)?;
+    let balanced = merge_sorted(&train, &validation);
+    timings.push(StageTiming::new("materialize", t.elapsed()));
+
+    let report = PipelineReport {
+        built: selection.built,
+        raw_token_stats,
+        after_prune: selection.after_prune,
+        corpus_labels,
+        combo_before_balance: selection.combo_before_balance,
+        per_combo: selection.per_combo,
+        final_size: balanced.len(),
+        train_size: train.len(),
+        validation_size: validation.len(),
+        dedup: dedup.stats(),
+    };
+    Ok((
+        Dataset { samples: balanced },
+        Split {
+            train: Dataset { samples: train },
+            validation: Dataset {
+                samples: validation,
+            },
+        },
+        report,
+        timings,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::run_pipeline_cached;
+    use pce_kernels::{CorpusConfig, VariantAxes};
+
+    fn small_spec(axes: VariantAxes) -> CorpusSpec {
+        CorpusSpec {
+            base: CorpusConfig {
+                seed: 3,
+                cuda_programs: 40,
+                omp_programs: 32,
+            },
+            axes,
+        }
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            per_combo_cap: 8,
+            tokenizer_vocab: 400,
+            tokenizer_stride: 11,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn streamed_matches_materialized_for_identity_and_expanded_specs() {
+        for axes in [
+            VariantAxes::none(),
+            VariantAxes {
+                unroll: vec![4],
+                flip_precision: true,
+                ..VariantAxes::none()
+            },
+        ] {
+            let spec = small_spec(axes);
+            let corpus: Vec<_> = spec
+                .stream()
+                .collect::<Result<_, _>>()
+                .expect("corpus builds");
+            let c = cfg();
+            let tokenized = crate::pipeline::tokenize_corpus(&corpus, &c);
+            let eager_caches = SimCaches::new();
+            let eager = run_pipeline_cached(&corpus, &tokenized, &c, &eager_caches);
+            for shard_size in [1, 17, 1_000_000] {
+                let caches = SimCaches::new();
+                let streamed = run_pipeline_streamed(&spec, &c, &caches, shard_size)
+                    .expect("streamed pipeline runs");
+                assert_eq!(eager, streamed, "shard_size={shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn expanded_corpus_reports_nonzero_dedup() {
+        let spec = small_spec(VariantAxes {
+            unroll: vec![2, 4],
+            ..VariantAxes::none()
+        });
+        let caches = SimCaches::new();
+        let (_, _, report) =
+            run_pipeline_streamed(&spec, &cfg(), &caches, 64).expect("pipeline runs");
+        // Unroll variants change only the source text, so 2/3 of the
+        // corpus dedups onto the base programs' profiles.
+        assert_eq!(report.dedup.total() as usize, spec.len());
+        assert!(
+            report.dedup.duplicates as usize >= spec.len() / 2,
+            "expected heavy unroll dedup, got {:?}",
+            report.dedup
+        );
+        assert!(report.dedup.hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn restreaming_profiles_zero_new_kernels() {
+        let spec = small_spec(VariantAxes {
+            flip_precision: true,
+            ..VariantAxes::none()
+        });
+        let caches = SimCaches::new();
+        let first = run_pipeline_streamed(&spec, &cfg(), &caches, 32).expect("first pass runs");
+        let misses_after_first = caches.profiles().counters().misses;
+        let second = run_pipeline_streamed(&spec, &cfg(), &caches, 32).expect("second pass runs");
+        assert_eq!(
+            caches.profiles().counters().misses,
+            misses_after_first,
+            "re-streaming the same seed must profile zero new kernels"
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn invalid_spec_pair_is_a_typed_error() {
+        let mut c = cfg();
+        c.specs.cpu = c.specs.gpu.clone();
+        let err = run_pipeline_streamed(&small_spec(VariantAxes::none()), &c, &SimCaches::new(), 8)
+            .expect_err("mismatched spec classes must be rejected");
+        assert_eq!(err.kind(), "spec");
+    }
+
+    #[test]
+    fn stage_timings_name_every_stage() {
+        let caches = SimCaches::new();
+        let (_, _, _, timings) =
+            run_pipeline_streamed_timed(&small_spec(VariantAxes::none()), &cfg(), &caches, 16)
+                .expect("pipeline runs");
+        let names: Vec<&str> = timings.iter().map(|t| t.stage.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "tokenize-train",
+                "shard-profile",
+                "select-balance",
+                "materialize"
+            ]
+        );
+        assert!(timings.iter().all(|t| t.seconds >= 0.0));
+    }
+}

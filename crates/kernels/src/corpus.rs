@@ -6,9 +6,11 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use pce_fault::PceError;
 use pce_gpu_sim::{KernelIr, LaunchConfig, Precision};
 
-use crate::families::{registry, FamilyInput};
+use crate::families::{registry, Family, FamilyInput};
+use crate::stream::CorpusSpec;
 
 pub use crate::source::Language;
 
@@ -63,62 +65,32 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Build the full corpus.
-pub fn build_corpus(cfg: &CorpusConfig) -> Vec<Program> {
-    // Compute-heavy families appear twice in the rotation: HeCBench leans
-    // heavily on crypto/Monte-Carlo/finance kernels, and the balanced
-    // dataset needs enough compute-bound programs per language (§2.2).
-    let weighted = |fams: Vec<crate::families::Family>| -> Vec<crate::families::Family> {
-        let mut out = Vec::with_capacity(fams.len() * 2);
-        for f in fams {
-            out.push(f);
-            if is_compute_heavy_family(f.name) {
-                out.push(f);
-            }
+/// The weighted family rotation the corpus draws from: compute-heavy
+/// families appear twice (HeCBench leans heavily on crypto/Monte-Carlo/
+/// finance kernels, and the balanced dataset needs enough compute-bound
+/// programs per language, §2.2), and the OMP rotation keeps only families
+/// with an OpenMP port.
+pub(crate) fn weighted_families() -> (Vec<Family>, Vec<Family>) {
+    let mut fams = Vec::new();
+    for f in registry() {
+        fams.push(f);
+        if is_compute_heavy_family(f.name) {
+            fams.push(f);
         }
-        out
-    };
-    let fams = weighted(registry());
+    }
     let omp_fams: Vec<_> = fams.iter().filter(|f| f.has_omp).cloned().collect();
-    let mut corpus = Vec::with_capacity(cfg.cuda_programs + cfg.omp_programs);
+    (fams, omp_fams)
+}
 
-    for i in 0..cfg.cuda_programs {
-        let fam = &fams[i % fams.len()];
-        let input = sample_input(cfg.seed, Language::Cuda, fam.name, i);
-        let v = (fam.build)(&input);
-        corpus.push(Program {
-            id: format!("cuda-{}-{:04}", fam.name, i),
-            family: fam.name.to_string(),
-            language: Language::Cuda,
-            source: v.cuda.clone(),
-            kernel_name: v.kernel_name.clone(),
-            ir: v.ir.clone(),
-            launch: v.launch.clone(),
-            args: v.args.clone(),
-        });
-    }
-
-    for i in 0..cfg.omp_programs {
-        let fam = &omp_fams[i % omp_fams.len()];
-        let input = sample_input(cfg.seed, Language::Omp, fam.name, i);
-        let v = (fam.build)(&input);
-        let source = v
-            .omp
-            .clone()
-            .expect("families in the OMP registry always render an OMP port");
-        corpus.push(Program {
-            id: format!("omp-{}-{:04}", fam.name, i),
-            family: fam.name.to_string(),
-            language: Language::Omp,
-            source,
-            kernel_name: v.kernel_name.clone(),
-            ir: v.ir.clone(),
-            launch: v.launch.clone(),
-            args: v.args.clone(),
-        });
-    }
-
-    corpus
+/// Build the full corpus eagerly.
+///
+/// This is now one consumer of the lazy [`CorpusStream`]
+/// (`crate::stream`): it materializes the identity-variant stream (no
+/// parametric expansion), which yields byte-identical programs to the
+/// historical eager builder. Fails with [`PceError::Spec`] if a family
+/// advertises an OMP port it does not render.
+pub fn build_corpus(cfg: &CorpusConfig) -> Result<Vec<Program>, PceError> {
+    CorpusSpec::materialized(*cfg).stream().collect()
 }
 
 /// Families whose kernels are integer-only: precision sampling is moot.
@@ -145,7 +117,10 @@ fn is_compute_heavy_family(name: &str) -> bool {
     )
 }
 
-fn sample_input(seed: u64, lang: Language, family: &str, index: usize) -> FamilyInput {
+/// Sample a family's parameters for one corpus slot. Pure function of
+/// `(seed, language, family, index)` — no sequential RNG state — which is
+/// what makes random access to any stream index possible.
+pub(crate) fn sample_input(seed: u64, lang: Language, family: &str, index: usize) -> FamilyInput {
     let lang_tag = match lang {
         Language::Cuda => 0x1u64,
         Language::Omp => 0x2u64,
@@ -200,7 +175,7 @@ mod tests {
 
     #[test]
     fn corpus_has_requested_counts_per_language() {
-        let corpus = build_corpus(&small_cfg());
+        let corpus = build_corpus(&small_cfg()).expect("corpus builds");
         assert_eq!(corpus.len(), 108);
         assert_eq!(
             corpus
@@ -220,24 +195,25 @@ mod tests {
 
     #[test]
     fn corpus_is_deterministic() {
-        let a = build_corpus(&small_cfg());
-        let b = build_corpus(&small_cfg());
+        let a = build_corpus(&small_cfg()).expect("corpus builds");
+        let b = build_corpus(&small_cfg()).expect("corpus builds");
         assert_eq!(a, b);
     }
 
     #[test]
     fn different_seeds_give_different_corpora() {
-        let a = build_corpus(&small_cfg());
+        let a = build_corpus(&small_cfg()).expect("corpus builds");
         let b = build_corpus(&CorpusConfig {
             seed: 43,
             ..small_cfg()
-        });
+        })
+        .expect("corpus builds");
         assert_ne!(a, b);
     }
 
     #[test]
     fn ids_are_unique() {
-        let corpus = build_corpus(&small_cfg());
+        let corpus = build_corpus(&small_cfg()).expect("corpus builds");
         let mut ids: Vec<_> = corpus.iter().map(|p| p.id.clone()).collect();
         ids.sort();
         let before = ids.len();
@@ -247,7 +223,7 @@ mod tests {
 
     #[test]
     fn omp_programs_contain_target_pragmas() {
-        let corpus = build_corpus(&small_cfg());
+        let corpus = build_corpus(&small_cfg()).expect("corpus builds");
         for p in corpus.iter().filter(|p| p.language == Language::Omp) {
             assert!(
                 p.source.contains("#pragma omp target"),
@@ -260,7 +236,7 @@ mod tests {
 
     #[test]
     fn cuda_programs_contain_kernels() {
-        let corpus = build_corpus(&small_cfg());
+        let corpus = build_corpus(&small_cfg()).expect("corpus builds");
         for p in corpus.iter().filter(|p| p.language == Language::Cuda) {
             assert!(p.source.contains("__global__"), "{} lacks a kernel", p.id);
         }
@@ -268,7 +244,7 @@ mod tests {
 
     #[test]
     fn source_lengths_are_diverse() {
-        let corpus = build_corpus(&small_cfg());
+        let corpus = build_corpus(&small_cfg()).expect("corpus builds");
         let lens: Vec<usize> = corpus.iter().map(|p| p.source.len()).collect();
         let min = lens.iter().min().unwrap();
         let max = lens.iter().max().unwrap();
@@ -279,7 +255,7 @@ mod tests {
     fn full_paper_counts_build() {
         // The real corpus: 446 + 303. Smoke-build it (fast: generation is
         // string assembly, no profiling).
-        let corpus = build_corpus(&CorpusConfig::default());
+        let corpus = build_corpus(&CorpusConfig::default()).expect("corpus builds");
         assert_eq!(corpus.len(), 749);
         let families_used: std::collections::BTreeSet<_> =
             corpus.iter().map(|p| p.family.clone()).collect();
@@ -292,7 +268,8 @@ mod tests {
             seed: 1,
             cuda_programs: 2,
             omp_programs: 1,
-        });
+        })
+        .expect("corpus builds");
         let json = serde_json::to_string(&corpus).unwrap();
         let back: Vec<Program> = serde_json::from_str(&json).unwrap();
         assert_eq!(corpus, back);

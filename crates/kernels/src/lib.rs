@@ -22,9 +22,27 @@
 //! ```
 //! use pce_kernels::{build_corpus, CorpusConfig, Language};
 //!
-//! let corpus = build_corpus(&CorpusConfig { seed: 7, cuda_programs: 10, omp_programs: 5 });
+//! let cfg = CorpusConfig { seed: 7, cuda_programs: 10, omp_programs: 5 };
+//! let corpus = build_corpus(&cfg).expect("registry families all render");
 //! assert_eq!(corpus.iter().filter(|p| p.language == Language::Cuda).count(), 10);
 //! assert!(corpus[0].source.contains("__global__") || corpus[0].source.contains("#pragma omp"));
+//! ```
+//!
+//! Corpora no longer have to be materialized: [`CorpusSpec`] describes a
+//! (possibly variant-expanded) corpus and [`CorpusSpec::stream`] walks it
+//! lazily, with random access to any index — the primitive the sharded
+//! dataset pipeline builds on:
+//!
+//! ```
+//! use pce_kernels::{CorpusConfig, CorpusSpec, VariantAxes};
+//!
+//! let spec = CorpusSpec {
+//!     base: CorpusConfig { seed: 7, cuda_programs: 10, omp_programs: 5 },
+//!     axes: VariantAxes { unroll: vec![4], ..VariantAxes::none() },
+//! };
+//! assert_eq!(spec.len(), 30); // every base program plus one unroll variant
+//! let first = spec.stream().next().expect("non-empty").expect("renders");
+//! assert_eq!(first, spec.program(0).expect("random access agrees"));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,6 +52,8 @@
 pub mod corpus;
 pub mod families;
 pub mod source;
+pub mod stream;
 
 pub use corpus::{build_corpus, CorpusConfig, Language, Program};
 pub use families::{family_names, Variant};
+pub use stream::{CorpusSpec, CorpusStream, VariantAxes};

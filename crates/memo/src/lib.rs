@@ -87,6 +87,82 @@ impl CacheCounters {
     }
 }
 
+/// Counters of a first-seen/duplicate classification over a fingerprint
+/// stream — what the sharded corpus pipeline reports as its variant-dedup
+/// rate. Unlike [`CacheCounters`] (a live gauge on a concurrent table),
+/// these are a pure fold over an *ordered* stream, so two runs over the
+/// same corpus produce identical stats regardless of shard count or
+/// thread schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DedupStats {
+    /// Fingerprints seen for the first time (distinct work items).
+    pub unique: u64,
+    /// Fingerprints already seen earlier in the stream (work that a
+    /// fingerprint memo serves without recomputation).
+    pub duplicates: u64,
+}
+
+impl DedupStats {
+    /// Total fingerprints observed.
+    pub fn total(&self) -> u64 {
+        self.unique + self.duplicates
+    }
+
+    /// Duplicate fraction in `[0, 1]` (0 for an empty stream): the share
+    /// of the stream a fingerprint memo absorbs.
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.duplicates as f64 / self.total() as f64
+        }
+    }
+}
+
+/// A seen-set over 64-bit fingerprints that classifies each observation
+/// as first-seen or duplicate. Feed it an ordered fingerprint stream
+/// (e.g. per-program profile identities in corpus order) and read the
+/// [`DedupStats`] off at the end.
+#[derive(Debug, Default)]
+pub struct StreamDedup {
+    seen: std::collections::BTreeSet<u64>,
+    stats: DedupStats,
+}
+
+impl StreamDedup {
+    /// A fresh, empty dedup set.
+    pub fn new() -> StreamDedup {
+        StreamDedup::default()
+    }
+
+    /// Observe one fingerprint. Returns `true` when it is new (first
+    /// occurrence in the stream), `false` for a duplicate.
+    pub fn observe(&mut self, fp: u64) -> bool {
+        let new = self.seen.insert(fp);
+        if new {
+            self.stats.unique += 1;
+        } else {
+            self.stats.duplicates += 1;
+        }
+        new
+    }
+
+    /// The accumulated first-seen/duplicate counters.
+    pub fn stats(&self) -> DedupStats {
+        self.stats
+    }
+
+    /// Number of distinct fingerprints seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether no fingerprint has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
 /// A tiny word-granular FNV-1a accumulator: the fingerprint primitive
 /// behind every cache key (and the kernel IR's structural fingerprint).
 /// Word-at-a-time folding keeps hashing cheap relative to the work being
@@ -380,6 +456,33 @@ impl<K: PartialEq, V> Memo<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stream_dedup_classifies_and_counts() {
+        let mut d = StreamDedup::new();
+        assert!(d.is_empty());
+        assert!(d.observe(1));
+        assert!(d.observe(2));
+        assert!(!d.observe(1));
+        assert!(!d.observe(2));
+        assert!(d.observe(3));
+        let s = d.stats();
+        assert_eq!((s.unique, s.duplicates), (3, 2));
+        assert_eq!(s.total(), 5);
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(d.len(), 3);
+        assert_eq!(DedupStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn dedup_stats_round_trip_through_serde() {
+        let s = DedupStats {
+            unique: 7,
+            duplicates: 3,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<DedupStats>(&json).unwrap(), s);
+    }
 
     #[test]
     fn fnv_is_stable_and_length_prefixed() {

@@ -15,7 +15,7 @@ use parallel_code_estimation::core::experiments::rq23::prompt_for_sample;
 
 fn main() {
     let study = Study::smoke();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
 
     // The paper's configuration: 2 epochs on the 80% split.
     println!("{}", render_rq4(&run_rq4(&study, &data.split)));

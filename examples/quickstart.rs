@@ -19,7 +19,8 @@ fn main() {
         seed: 42,
         cuda_programs: 12,
         omp_programs: 6,
-    });
+    })
+    .expect("corpus builds");
     let program = &corpus[1];
     println!(
         "program {} ({} kernel '{}')",

@@ -12,7 +12,7 @@ use parallel_code_estimation::prompt::ShotStyle;
 
 fn main() {
     let study = Study::smoke();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     println!(
         "dataset: {} balanced samples ({} per language/class cell)\n",
         data.dataset.len(),

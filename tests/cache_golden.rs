@@ -74,7 +74,7 @@ fn cached_artifacts_are_byte_identical_across_cache_states_and_thread_counts() {
     // --- Table 1 (single-spec artifact), cold vs warm, total_cost
     // included in the rendered bytes.
     let study = Study::smoke();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let t_cold = render_table1(&build_table1(&study, &data));
     let t_caches = SuiteCaches::new();
     let bank = Rq1Bank::build_cached(&study, &t_caches.llm);

@@ -21,6 +21,7 @@ fn corpus() -> Vec<parallel_code_estimation::kernels::Program> {
         cuda_programs: 40,
         omp_programs: 24,
     })
+    .expect("corpus builds")
 }
 
 #[test]

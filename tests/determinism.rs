@@ -21,7 +21,7 @@ use parallel_code_estimation::roofline::HardwareSpec;
 /// and the full suite report (markdown + both CSVs).
 fn render_everything() -> String {
     let study = Study::smoke();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     let table = build_table1(&study, &data);
 
     let suite = Suite::smoke_with_specs(vec![

@@ -14,7 +14,7 @@ use parallel_code_estimation::roofline::Boundedness;
 
 fn study_and_data() -> (Study, StudyData) {
     let study = Study::smoke();
-    let data = StudyData::build(&study);
+    let data = StudyData::build(&study).expect("study builds");
     (study, data)
 }
 

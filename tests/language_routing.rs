@@ -17,7 +17,7 @@ use parallel_code_estimation::roofline::{classify_joint, Boundedness, HardwareSp
 #[test]
 fn every_sample_stores_and_prompts_its_languages_spec() {
     let study = Study::smoke();
-    let corpus = build_corpus(&study.corpus);
+    let corpus = build_corpus(&study.corpus).expect("corpus builds");
     let tokenized = tokenize_corpus(&corpus, &study.pipeline);
     let caches = SuiteCaches::new();
     let (dataset, split, _) =
@@ -81,7 +81,7 @@ fn every_sample_stores_and_prompts_its_languages_spec() {
 #[test]
 fn warm_caches_never_cross_serve_profiles_between_classes() {
     let study = Study::smoke();
-    let corpus = build_corpus(&study.corpus);
+    let corpus = build_corpus(&study.corpus).expect("corpus builds");
     let tokenized = tokenize_corpus(&corpus, &study.pipeline);
     let cuda_count = corpus
         .iter()
@@ -157,7 +157,7 @@ fn label_golden_cuda_identical_omp_repinned() {
     // roofline. The exact smoke-scale delta is pinned so any future
     // change to CPU presets or routing shows up here, on purpose.
     let study = Study::smoke();
-    let corpus = build_corpus(&study.corpus);
+    let corpus = build_corpus(&study.corpus).expect("corpus builds");
     let tokenized = tokenize_corpus(&corpus, &study.pipeline);
     let caches = SuiteCaches::new();
     let (_, _, report) = run_pipeline_cached(&corpus, &tokenized, &study.pipeline, &caches.sim);

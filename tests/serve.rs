@@ -46,7 +46,7 @@ fn session(service: &PredictionService, input: &str, batch: usize) -> String {
 fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
     std::env::set_var("RAYON_NUM_THREADS", "4");
     let study = Study::smoke();
-    let service = PredictionService::new(study.clone(), None);
+    let service = PredictionService::new(study.clone(), None).expect("service builds");
     let lines = job_lines(&service);
     let input = format!("{}\nstats\nquit\n", lines.join("\n"));
 
@@ -73,13 +73,13 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
     // excluded — cache totals legitimately differ with grouping).
     let predict_only = format!("{}\nquit\n", lines.join("\n"));
     let reference = session(
-        &PredictionService::new(study.clone(), None),
+        &PredictionService::new(study.clone(), None).expect("service builds"),
         &predict_only,
         24,
     );
     for batch in [1, 5, 100] {
         let got = session(
-            &PredictionService::new(study.clone(), None),
+            &PredictionService::new(study.clone(), None).expect("service builds"),
             &predict_only,
             batch,
         );
@@ -88,7 +88,8 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
 
     // --- Bounded-vs-unbounded identity: a tiny budget forces evictions
     // yet the response bytes cannot change.
-    let bounded = PredictionService::new(study.clone(), Some(CacheBudget::uniform(64 * 1024)));
+    let bounded = PredictionService::new(study.clone(), Some(CacheBudget::uniform(64 * 1024)))
+        .expect("service builds");
     let got = session(&bounded, &predict_only, 8);
     assert_eq!(reference, got, "bounded transcript diverged");
     let report = bounded.caches().report();
@@ -97,7 +98,8 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
 
     // --- Thread-count invariance on a fresh bounded service.
     std::env::set_var("RAYON_NUM_THREADS", "1");
-    let serial = PredictionService::new(study.clone(), Some(CacheBudget::uniform(64 * 1024)));
+    let serial = PredictionService::new(study.clone(), Some(CacheBudget::uniform(64 * 1024)))
+        .expect("service builds");
     let got = session(&serial, &predict_only, 8);
     std::env::remove_var("RAYON_NUM_THREADS");
     assert_eq!(reference, got, "serial transcript diverged");
@@ -109,7 +111,7 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
                  predict id=bad3 kernel=KER spec=rtx-3080 model=not-a-model shots=few\n\
                  garbage line\n\
                  quit\n";
-    let service = PredictionService::new(study, None);
+    let service = PredictionService::new(study, None).expect("service builds");
     let kernel = service.programs()[0].id.clone();
     let transcript = session(&service, &mixed.replace("KER", &kernel), 100);
     let rows: Vec<&str> = transcript.lines().collect();
@@ -124,7 +126,7 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
 
     // --- Protocol edges: EOF without quit flushes pending jobs; parse
     // round-trips the documented grammar.
-    let service2 = PredictionService::new(Study::smoke(), None);
+    let service2 = PredictionService::new(Study::smoke(), None).expect("service builds");
     let kernel = service2.programs()[0].id.clone();
     let eof_input = format!("predict id=x kernel={kernel} spec=rtx-3080 model=o3-mini shots=few\n");
     let transcript = session(&service2, &eof_input, 100);

@@ -20,7 +20,7 @@ use parallel_code_estimation::fault::WireRates;
 
 fn service() -> &'static PredictionService {
     static SERVICE: OnceLock<PredictionService> = OnceLock::new();
-    SERVICE.get_or_init(|| PredictionService::new(Study::smoke(), None))
+    SERVICE.get_or_init(|| PredictionService::new(Study::smoke(), None).expect("service builds"))
 }
 
 /// A second service with engine + wire chaos switched on, for the
@@ -32,7 +32,7 @@ fn chaotic_service() -> &'static PredictionService {
         let mut chaos = ChaosConfig::uniform(0xf422, 0.2);
         chaos.plan = chaos.plan.with_wire(WireRates::uniform(0.25));
         study.chaos = Some(chaos);
-        PredictionService::new(study, None)
+        PredictionService::new(study, None).expect("service builds")
     })
 }
 

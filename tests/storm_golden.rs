@@ -41,7 +41,7 @@ fn storm_input(service: &PredictionService) -> String {
 }
 
 fn session(study: &Study, input: &str, config: &ServeConfig) -> (String, PredictionService) {
-    let service = PredictionService::new(study.clone(), None);
+    let service = PredictionService::new(study.clone(), None).expect("service builds");
     let mut out = Vec::new();
     service
         .serve_session(Cursor::new(input.as_bytes().to_vec()), &mut out, config)
@@ -75,7 +75,7 @@ fn storm_transcripts_are_byte_identical_and_ledgers_balance() {
         study.chaos = Some(chaos);
         study
     };
-    let reference = PredictionService::new(clean.clone(), None);
+    let reference = PredictionService::new(clean.clone(), None).expect("service builds");
     let input = storm_input(&reference);
 
     for depth in [2usize, 4, 8] {

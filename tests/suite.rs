@@ -30,7 +30,7 @@ fn small_suite() -> Suite {
 #[test]
 fn shared_build_is_equivalent_to_independent_rebuilds() {
     let suite = small_suite();
-    let shared = SharedBuild::build(&suite);
+    let shared = SharedBuild::build(&suite).expect("shared build");
     let outcome = run_suite_shared(&suite, &shared).unwrap();
     assert_eq!(outcome.completed().len(), suite.cells().len());
 
@@ -38,7 +38,7 @@ fn shared_build_is_equivalent_to_independent_rebuilds() {
         // Rebuild this cell completely from scratch: fresh corpus, fresh
         // tokenizer training, fresh RQ1 runs.
         let study = suite.base.with_specs(pair.clone());
-        let data = StudyData::build(&study);
+        let data = StudyData::build(&study).expect("study builds");
         let table = build_table1(&study, &data);
 
         let label = pair.label();
@@ -55,7 +55,7 @@ fn shared_build_is_equivalent_to_independent_rebuilds() {
 #[test]
 fn corpus_and_tokenizer_are_built_once_and_shared() {
     let suite = small_suite();
-    let shared = SharedBuild::build(&suite);
+    let shared = SharedBuild::build(&suite).expect("shared build");
     let outcome = run_suite_shared(&suite, &shared).unwrap();
 
     // Every cell's funnel must carry the *shared* tokenization verbatim —
@@ -85,7 +85,8 @@ fn corpus_and_tokenizer_are_built_once_and_shared() {
 #[test]
 fn each_language_flips_along_its_own_axis() {
     let suite = small_suite();
-    let outcome = run_suite_shared(&suite, &SharedBuild::build(&suite)).unwrap();
+    let outcome =
+        run_suite_shared(&suite, &SharedBuild::build(&suite).expect("shared build")).unwrap();
     let flips = &outcome.flips;
 
     for section in &flips.by_language {
@@ -126,7 +127,10 @@ fn each_language_flips_along_its_own_axis() {
     let omp = flips.language(Language::Omp).unwrap();
     assert_eq!(
         cuda.kernels.len() + omp.kernels.len(),
-        SharedBuild::build(&suite).corpus.len()
+        SharedBuild::build(&suite)
+            .expect("shared build")
+            .corpus
+            .len()
     );
 }
 
