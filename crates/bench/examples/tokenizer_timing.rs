@@ -1,3 +1,6 @@
+//! Wall-clock timing for the tokenizer and the full dataset pipeline on
+//! the smoke corpus — a quick manual sanity check, not a criterion bench.
+
 use pce_core::study::Study;
 use pce_dataset::run_pipeline;
 use pce_kernels::build_corpus;

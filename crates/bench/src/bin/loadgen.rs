@@ -123,6 +123,7 @@ fn job_mix(study: &Study, jobs: usize, seed: u64) -> Vec<Job> {
                 ShotStyle::FewShot
             },
             deadline_ms: None,
+            src: None,
         })
         .collect()
 }

@@ -11,10 +11,16 @@
 //!
 //! ```text
 //! predict id=<token> kernel=<corpus-id> spec=<preset> model=<zoo-name> shots=<zero|few> [deadline_ms=<n>]
+//! predict id=<token> src=<percent-encoded-source> spec=<preset> [deadline_ms=<n>]
 //! stats
 //! drain
 //! quit
 //! ```
+//!
+//! The `src=` form submits raw kernel source (percent-encoded, see the
+//! `lint` bin's `--emit-predict`): the static analyzer answers it at
+//! admission — clean source gets a static roofline label, source with
+//! error-severity hazard diagnostics is rejected with `kind=lint`.
 //!
 //! `--smoke` serves the reduced-scale corpus; `--batch <n>` sets the
 //! admission batch size (default 32). Caches are *bounded* by default

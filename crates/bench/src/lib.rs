@@ -20,8 +20,6 @@
 //! default to the paper-scale study otherwise; `suite` also accepts
 //! `--specs <name,name,...>` to pick the hardware matrix rows.
 
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
-
 use pce_core::study::{ChaosConfig, Study};
 use pce_roofline::{HardwareSpec, SpecClass};
 

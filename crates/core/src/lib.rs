@@ -32,8 +32,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod caches;
 pub mod experiments;

@@ -10,6 +10,7 @@
 //! ```text
 //! predict id=j1 kernel=cuda-saxpy-0000 spec=rtx-3080 model=gpt-4o shots=zero
 //! predict id=j2 kernel=cuda-saxpy-0000 spec=rtx-3080 model=o1 shots=few deadline_ms=50
+//! predict id=j3 src=__global__%20void%20k... spec=rtx-3080
 //! stats
 //! drain
 //! quit
@@ -23,6 +24,22 @@
 //! `stats` reports job/cache/ledger totals. Responses never carry
 //! timing, so a transcript is byte-reproducible across thread counts,
 //! batch sizes, and cache bounds.
+//!
+//! ## Raw-source jobs
+//!
+//! A `predict` line may carry `src=` (percent-encoded kernel source, see
+//! [`encode_src`]/[`decode_src`]) instead of `kernel=`/`model=`/`shots=`.
+//! At admission the server runs the full static pipeline —
+//! lex → structure → diagnose → estimate — over the *untrusted* source:
+//! source with error-severity hazard diagnostics (data races, missing
+//! barriers, missing reduction clauses) is rejected with a typed
+//! [`PceError::Lint`] (`err id=... kind=lint ...`, counted in the
+//! ledger's `lint` column), and clean source answers
+//! `ok id=... kernel=<name> model=static prediction=<label>
+//! margin=<decades> warnings=<n>` with a static roofline label against
+//! the requested spec. The pass is deterministic and span-stable, so
+//! raw-source transcripts are byte-identical across thread counts and
+//! batch sizes.
 //!
 //! ## Admission batching
 //!
@@ -61,7 +78,7 @@
 //! Every admitted job is answered exactly once, and the per-model ledger
 //! keeps the extended invariant
 //! `injected == retried_valid + invalid + refused` ∧
-//! `admitted == completed + shed + expired`.
+//! `admitted == completed + shed + expired + lint`.
 //!
 //! ## Determinism
 //!
@@ -185,6 +202,63 @@ pub struct Job {
     /// Per-job deadline in virtual milliseconds (`deadline_ms=`);
     /// `None` falls back to the server default.
     pub deadline_ms: Option<u64>,
+    /// Decoded raw kernel source for `src=` jobs; `None` for corpus
+    /// jobs. Raw-source jobs carry `kernel = "-"`, `model =`
+    /// [`STATIC_MODEL`], and zero-shot style.
+    pub src: Option<String>,
+}
+
+/// The ledger bucket raw-source (`src=`) jobs are accounted under: they
+/// are answered by the static analyzer, not a zoo model.
+pub const STATIC_MODEL: &str = "static";
+
+/// Percent-encode raw kernel source for the whitespace-split line
+/// protocol: every byte outside `[A-Za-z0-9_.~-]` becomes `%XX`.
+pub fn encode_src(src: &str) -> String {
+    let mut out = String::with_capacity(src.len() + src.len() / 2);
+    for b in src.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => {
+                out.push('%');
+                out.push(
+                    char::from_digit(u32::from(b >> 4), 16)
+                        .unwrap_or('0')
+                        .to_ascii_uppercase(),
+                );
+                out.push(
+                    char::from_digit(u32::from(b & 0xf), 16)
+                        .unwrap_or('0')
+                        .to_ascii_uppercase(),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Decode a percent-encoded `src=` value back into source text.
+pub fn decode_src(enc: &str) -> Result<String, PceError> {
+    let bytes = enc.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = enc
+                .get(i + 1..i + 3)
+                .ok_or_else(|| PceError::parse("truncated %-escape in src"))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|_| PceError::parse(format!("bad %-escape '%{hex}' in src")))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| PceError::parse("src is not valid UTF-8"))
 }
 
 /// One parsed protocol line.
@@ -239,15 +313,6 @@ impl Command {
                         .map(|v| v.to_string())
                         .ok_or_else(|| PceError::parse(format!("predict needs {k}=...")))
                 };
-                let style = match take(&fields, "shots")?.as_str() {
-                    "zero" => ShotStyle::ZeroShot,
-                    "few" => ShotStyle::FewShot,
-                    other => {
-                        return Err(PceError::parse(format!(
-                            "shots must be zero|few, got '{other}'"
-                        )))
-                    }
-                };
                 let deadline_ms = fields
                     .get("deadline_ms")
                     .map(|v| {
@@ -261,11 +326,41 @@ impl Command {
                 for k in fields.keys() {
                     if !matches!(
                         *k,
-                        "id" | "kernel" | "spec" | "model" | "shots" | "deadline_ms"
+                        "id" | "kernel" | "spec" | "model" | "shots" | "deadline_ms" | "src"
                     ) {
                         return Err(PceError::parse(format!("unknown field '{k}'")));
                     }
                 }
+                if fields.contains_key("src") {
+                    // A raw-source job: the static analyzer answers it, so
+                    // the corpus/model/shot fields make no sense here.
+                    for k in ["kernel", "model", "shots"] {
+                        if fields.contains_key(k) {
+                            return Err(PceError::parse(format!(
+                                "src= is mutually exclusive with {k}="
+                            )));
+                        }
+                    }
+                    let src = decode_src(&take(&fields, "src")?)?;
+                    return Ok(Command::Predict(Job {
+                        id: take(&fields, "id")?,
+                        kernel: "-".to_string(),
+                        spec: take(&fields, "spec")?,
+                        model: STATIC_MODEL.to_string(),
+                        style: ShotStyle::ZeroShot,
+                        deadline_ms,
+                        src: Some(src),
+                    }));
+                }
+                let style = match take(&fields, "shots")?.as_str() {
+                    "zero" => ShotStyle::ZeroShot,
+                    "few" => ShotStyle::FewShot,
+                    other => {
+                        return Err(PceError::parse(format!(
+                            "shots must be zero|few, got '{other}'"
+                        )))
+                    }
+                };
                 Ok(Command::Predict(Job {
                     id: take(&fields, "id")?,
                     kernel: take(&fields, "kernel")?,
@@ -273,6 +368,7 @@ impl Command {
                     model: take(&fields, "model")?,
                     style,
                     deadline_ms,
+                    src: None,
                 }))
             }
             other => Err(PceError::parse(format!(
@@ -462,6 +558,8 @@ struct QueuedJob {
 enum ServeOutcome {
     Completed,
     Expired,
+    /// A raw-source job rejected by error-severity static diagnostics.
+    LintRejected,
 }
 
 /// One fanned-out job before the ledger merge: response line, response
@@ -576,8 +674,8 @@ impl PredictionService {
 
     /// Whether the extended ledger invariant
     /// (`injected == retried_valid + invalid + refused` ∧
-    /// `admitted == completed + shed + expired`) holds globally *and* in
-    /// every per-model bucket.
+    /// `admitted == completed + shed + expired + lint`) holds globally
+    /// *and* in every per-model bucket.
     pub fn ledger_balanced(&self) -> bool {
         self.ledgers
             .lock()
@@ -597,7 +695,7 @@ impl PredictionService {
             .fold((0, 0), |(h, m), (_, c)| (h + c.hits, m + c.misses));
         let total = self.ledger();
         let mut line = format!(
-            "stats jobs={} cache_hits={hits} cache_misses={misses} evictions={} resident_bytes={} completed={} shed={} expired={} breaker_open={} ledger_balanced={}",
+            "stats jobs={} cache_hits={hits} cache_misses={misses} evictions={} resident_bytes={} completed={} shed={} expired={} breaker_open={} lint={} ledger_balanced={}",
             total.admitted,
             report.total_evictions(),
             report.total_resident_bytes(),
@@ -605,6 +703,7 @@ impl PredictionService {
             total.shed,
             total.expired,
             total.breaker_open,
+            total.lint,
             self.ledger_balanced(),
         );
         for (model, l) in self.ledgers() {
@@ -665,6 +764,76 @@ impl PredictionService {
         }
     }
 
+    /// Answer one raw-source job: run the full static pipeline
+    /// (lex → structure → diagnose → estimate) over the untrusted
+    /// source, reject hazards, and label clean source against the
+    /// requested spec's static rooflines.
+    ///
+    /// Errors map to response kinds: unknown spec / kernel-free source →
+    /// [`PceError::Spec`]; error-severity diagnostics →
+    /// [`PceError::Lint`] naming each firing rule. The whole path is a
+    /// pure function of `(src, spec)` — no cache, clock, or seed — so
+    /// the answer line is byte-stable across batches and thread counts.
+    fn static_answer(&self, job: &Job, src: &str) -> Result<String, PceError> {
+        use pce_static_analysis::{analyze, AnalyzeOptions, Severity};
+        let spec = HardwareSpec::preset_by_name(&job.spec)
+            .map_err(|e| PceError::spec(format!("spec '{}': {e}", job.spec)))?;
+        let analysis = analyze(src, &AnalyzeOptions::default());
+        let errors: Vec<String> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| {
+                format!(
+                    "{} at {}:{}: {}",
+                    d.rule, d.span.line, d.span.col, d.message
+                )
+            })
+            .collect();
+        if !errors.is_empty() {
+            let shown = errors.len().min(3);
+            let mut what = errors[..shown].join("; ");
+            if errors.len() > shown {
+                what.push_str(&format!(" (+{} more)", errors.len() - shown));
+            }
+            return Err(PceError::lint(what));
+        }
+        let kernel = analysis.kernels.first().ok_or_else(|| {
+            PceError::spec("src contains no CUDA __global__ kernel or OMP target region")
+        })?;
+        // Static roofline label: the best margin (in decades) of any op
+        // class's static AI over the spec's ridge point decides the side,
+        // mirroring the deep readers' mental model in `pce_llm`.
+        let mut verdict = Boundedness::Bandwidth;
+        let mut best_margin = f64::NEG_INFINITY;
+        for (idx, class) in pce_roofline::OpClass::ALL.iter().enumerate() {
+            let ai = kernel.tally.ai(idx);
+            if ai <= 0.0 {
+                continue;
+            }
+            let m = if ai.is_infinite() {
+                3.0
+            } else {
+                (ai / spec.ridge_point(*class)).log10()
+            };
+            best_margin = best_margin.max(m);
+            if m >= 0.0 {
+                verdict = Boundedness::Compute;
+            }
+        }
+        if best_margin == f64::NEG_INFINITY {
+            best_margin = -1.0; // no ops counted at all: far-bandwidth guess
+        }
+        Ok(format!(
+            "ok id={} kernel={} model={STATIC_MODEL} prediction={} margin={:+.2} warnings={}",
+            job.id,
+            kernel.name,
+            verdict.answer_token(),
+            best_margin,
+            analysis.diagnostics.len(),
+        ))
+    }
+
     /// Answer one admission batch with no queue, deadlines, or virtual
     /// clock — the direct replay entry point. Responses come back aligned
     /// with `jobs`, one line each; invalid jobs get `err` lines and cost
@@ -701,6 +870,10 @@ impl PredictionService {
             Live(GroupKey),
             FormationExpired(u64),
             Rejected(String),
+            /// A raw-source job answered by the static analyzer.
+            Static(String),
+            /// A raw-source job rejected by error-severity diagnostics.
+            LintRejected(String),
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(chunk.len());
         let mut groups: BTreeMap<GroupKey, HardwareSpec> = BTreeMap::new();
@@ -711,6 +884,24 @@ impl PredictionService {
                     slots.push(Slot::FormationExpired(d));
                     continue;
                 }
+            }
+            if let Some(src) = &q.job.src {
+                slots.push(match self.static_answer(&q.job, src) {
+                    Ok(line) => Slot::Static(line),
+                    Err(e @ PceError::Lint { .. }) => Slot::LintRejected(format!(
+                        "err id={} kind={} error=\"{}\"",
+                        q.job.id,
+                        e.kind(),
+                        one_line(&e)
+                    )),
+                    Err(e) => Slot::Rejected(format!(
+                        "err id={} kind={} error=\"{}\"",
+                        q.job.id,
+                        e.kind(),
+                        one_line(&e)
+                    )),
+                });
+                continue;
             }
             match self.resolve(&q.job) {
                 Ok((prog, spec)) => {
@@ -778,11 +969,19 @@ impl PredictionService {
                             );
                             return (line, ResponseAccounting::new(), ServeOutcome::Expired, None);
                         }
-                        Slot::Rejected(line) => {
+                        Slot::Rejected(line) | Slot::Static(line) => {
                             return (
                                 line.clone(),
                                 ResponseAccounting::new(),
                                 ServeOutcome::Completed,
+                                None,
+                            )
+                        }
+                        Slot::LintRejected(line) => {
+                            return (
+                                line.clone(),
+                                ResponseAccounting::new(),
+                                ServeOutcome::LintRejected,
                                 None,
                             )
                         }
@@ -848,6 +1047,7 @@ impl PredictionService {
                 match outcome {
                     ServeOutcome::Completed => l.completed += 1,
                     ServeOutcome::Expired => l.expired += 1,
+                    ServeOutcome::LintRejected => l.lint += 1,
                 }
                 l.merge(&acc);
             }
@@ -1171,6 +1371,46 @@ mod tests {
         assert_eq!(Command::parse("stats"), Ok(Command::Stats));
         assert_eq!(Command::parse("drain"), Ok(Command::Drain));
         assert_eq!(Command::parse(" quit "), Ok(Command::Quit));
+    }
+
+    #[test]
+    fn src_round_trips_through_percent_encoding() {
+        let src = "__global__ void k(float* x) {\n  x[threadIdx.x] *= 2.0f; // \"quoted\"\n}\n";
+        let enc = encode_src(src);
+        assert!(!enc.contains(char::is_whitespace), "{enc}");
+        assert!(!enc.contains('='), "{enc}");
+        assert_eq!(decode_src(&enc).expect("decodes"), src);
+        // Malformed escapes are parse errors, not panics.
+        assert!(decode_src("abc%2").is_err());
+        assert!(decode_src("abc%zz").is_err());
+        assert!(decode_src("%FF%FE").is_err(), "invalid UTF-8 rejected");
+    }
+
+    #[test]
+    fn parse_accepts_src_jobs_and_rejects_mixed_fields() {
+        let enc = encode_src("__global__ void k() {}");
+        let cmd = Command::parse(&format!("predict id=s1 src={enc} spec=rtx-3080"))
+            .expect("valid src line");
+        match cmd {
+            Command::Predict(job) => {
+                assert_eq!(job.id, "s1");
+                assert_eq!(job.kernel, "-");
+                assert_eq!(job.model, STATIC_MODEL);
+                assert_eq!(job.style, ShotStyle::ZeroShot);
+                assert_eq!(job.src.as_deref(), Some("__global__ void k() {}"));
+            }
+            other => panic!("expected predict, got {other:?}"),
+        }
+        for bad in [
+            format!("predict id=s1 src={enc} spec=s kernel=k"),
+            format!("predict id=s1 src={enc} spec=s model=m"),
+            format!("predict id=s1 src={enc} spec=s shots=zero"),
+            format!("predict id=s1 src={enc}"),
+            "predict id=s1 src=%2 spec=s".to_string(),
+        ] {
+            let err = Command::parse(&bad).expect_err(&format!("accepted: {bad}"));
+            assert_eq!(err.kind(), "parse", "{bad}");
+        }
     }
 
     #[test]

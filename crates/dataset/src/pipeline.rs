@@ -167,6 +167,15 @@ pub struct PipelineReport {
     /// this field existed.
     #[serde(default)]
     pub dedup: DedupStats,
+    /// Per-rule hazard diagnostic counts over the corpus's *distinct*
+    /// sources (lint rule id → firings), from the
+    /// `pce_static_analysis::diagnostics` audit of every generated
+    /// variant. Only rules that fired appear, so a hazard-clean corpus
+    /// reports an empty map — and reports serialized before this field
+    /// existed deserialize to the same. Deduped by source text, so
+    /// variant expansion cannot inflate the counts.
+    #[serde(default)]
+    pub hazards: BTreeMap<String, u64>,
 }
 
 /// Run the full pipeline over a corpus.
@@ -383,6 +392,72 @@ pub(crate) fn merge_sorted(train: &[Sample], validation: &[Sample]) -> Vec<Sampl
 /// Computed with a standalone [`Fnv`] accumulator, never through the
 /// [`SimCaches`] tables, so dedup accounting adds zero hit/miss traffic
 /// to the profile memo counters.
+/// Hazard counts of one source, aligned with
+/// [`pce_static_analysis::RuleId::all`] order. A pure function of the
+/// source text, so shards can compute it in parallel and the sequential
+/// merge stays byte-identical to the materialized path.
+pub(crate) fn hazard_counts(source: &str) -> Vec<u64> {
+    let diags = pce_static_analysis::diagnose(source);
+    pce_static_analysis::RuleId::all()
+        .iter()
+        .map(|r| diags.iter().filter(|d| d.rule == *r).count() as u64)
+        .collect()
+}
+
+/// Corpus-order hazard audit, deduped by source text: each *distinct*
+/// source contributes its per-rule diagnostic counts exactly once, so a
+/// variant-expanded corpus (many ids, few distinct sources) reports the
+/// hazards of its kernels, not of its multiplicity.
+pub(crate) struct HazardAudit {
+    seen: std::collections::HashSet<u64>,
+    counts: BTreeMap<String, u64>,
+}
+
+impl HazardAudit {
+    pub(crate) fn new() -> HazardAudit {
+        HazardAudit {
+            seen: std::collections::HashSet::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The dedup key of one source text.
+    pub(crate) fn source_fp(source: &str) -> u64 {
+        let mut h = Fnv::new();
+        h.str(source);
+        h.finish()
+    }
+
+    /// Fold one program's precomputed [`hazard_counts`] under its source
+    /// fingerprint; repeat sources are no-ops.
+    pub(crate) fn observe_counts(&mut self, src_fp: u64, counts: &[u64]) {
+        if !self.seen.insert(src_fp) {
+            return;
+        }
+        for (rule, n) in pce_static_analysis::RuleId::all().iter().zip(counts) {
+            if *n > 0 {
+                *self.counts.entry(rule.id().to_string()).or_insert(0) += n;
+            }
+        }
+    }
+
+    /// Diagnose-and-fold one source in corpus order; repeat sources are
+    /// not re-diagnosed.
+    pub(crate) fn observe_source(&mut self, source: &str) {
+        let fp = HazardAudit::source_fp(source);
+        if self.seen.contains(&fp) {
+            return;
+        }
+        let counts = hazard_counts(source);
+        self.observe_counts(fp, &counts);
+    }
+
+    /// The per-rule totals (only rules that fired).
+    pub(crate) fn into_counts(self) -> BTreeMap<String, u64> {
+        self.counts
+    }
+}
+
 pub(crate) fn profile_fingerprint(p: &Program, hw_name: &str) -> u64 {
     let mut h = Fnv::new();
     h.u64(p.ir.fingerprint());
@@ -449,9 +524,11 @@ fn run_pipeline_impl(
     // Standalone Fnv fold: adds no traffic to the SimCaches counters and
     // is independent of thread count and sharding.
     let mut dedup = StreamDedup::new();
+    let mut hazards = HazardAudit::new();
     for p in corpus {
         let hw = profilers.for_language(p.language).hardware();
         dedup.observe(profile_fingerprint(p, &hw.name));
+        hazards.observe_source(&p.source);
     }
 
     // --- Prune → balance → split (shared with the sharded stream) --------
@@ -485,6 +562,7 @@ fn run_pipeline_impl(
         train_size: train.len(),
         validation_size: validation.len(),
         dedup: dedup.stats(),
+        hazards: hazards.into_counts(),
     };
     (
         Dataset { samples: balanced },

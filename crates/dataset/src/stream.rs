@@ -43,8 +43,8 @@ use pce_roofline::classify_joint;
 use pce_tokenizer::{token_quartiles, BpeTrainer, Tokenizer};
 
 use crate::pipeline::{
-    merge_sorted, profile_fingerprint, select_and_balance, Dataset, PipelineConfig, PipelineReport,
-    RoutedProfilers, SampleMeta, Split,
+    hazard_counts, merge_sorted, profile_fingerprint, select_and_balance, Dataset, HazardAudit,
+    PipelineConfig, PipelineReport, RoutedProfilers, SampleMeta, Split,
 };
 use crate::sample::Sample;
 
@@ -129,7 +129,8 @@ pub fn run_pipeline_streamed_timed(
         .step_by(shard_size)
         .map(|s| (s, (s + shard_size).min(total)))
         .collect();
-    let shards: Vec<Result<Vec<(SampleMeta, u64)>, PceError>> = bounds
+    type ShardRow = (SampleMeta, u64, u64, Vec<u64>);
+    let shards: Vec<Result<Vec<ShardRow>, PceError>> = bounds
         .par_iter()
         .map(|&(start, end)| {
             // The whole shard lives here and is dropped on return: only
@@ -154,6 +155,12 @@ pub fn run_pipeline_streamed_timed(
                         token_count: counts[off],
                     },
                     profile_fingerprint(p, &hw.name),
+                    // Hazard audit inputs: a pure function of the source,
+                    // so computing them here (parallel, pre-drop) and
+                    // folding them sequentially below reproduces the
+                    // materialized path's corpus-order audit exactly.
+                    HazardAudit::source_fp(&p.source),
+                    hazard_counts(&p.source),
                 ));
             }
             Ok(out)
@@ -164,11 +171,13 @@ pub fn run_pipeline_streamed_timed(
     // and thread count.
     let mut metas = Vec::with_capacity(total);
     let mut dedup = StreamDedup::new();
+    let mut hazards = HazardAudit::new();
     let mut corpus_labels = Vec::with_capacity(total);
     let mut token_counts = Vec::with_capacity(total);
     for shard in shards {
-        for (meta, fp) in shard? {
+        for (meta, fp, src_fp, diag_counts) in shard? {
             dedup.observe(fp);
+            hazards.observe_counts(src_fp, &diag_counts);
             corpus_labels.push(meta.label);
             token_counts.push(meta.token_count);
             metas.push(meta);
@@ -228,6 +237,7 @@ pub fn run_pipeline_streamed_timed(
         train_size: train.len(),
         validation_size: validation.len(),
         dedup: dedup.stats(),
+        hazards: hazards.into_counts(),
     };
     Ok((
         Dataset { samples: balanced },
@@ -292,6 +302,26 @@ mod tests {
                 let streamed = run_pipeline_streamed(&spec, &c, &caches, shard_size)
                     .expect("streamed pipeline runs");
                 assert_eq!(eager, streamed, "shard_size={shard_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_hazard_audit_is_error_clean() {
+        let spec = small_spec(VariantAxes::none());
+        let caches = SimCaches::new();
+        let (_, _, report) =
+            run_pipeline_streamed(&spec, &cfg(), &caches, 64).expect("pipeline runs");
+        // Generated kernels may legitimately carry warning-severity
+        // hazards (serialized accumulators, strided subscripts) but must
+        // never ship an error-severity one (races, missing barriers).
+        for rule in pce_static_analysis::RuleId::all() {
+            if rule.severity() == pce_static_analysis::Severity::Error {
+                assert_eq!(
+                    report.hazards.get(rule.id()),
+                    None,
+                    "corpus fires error rule {rule}"
+                );
             }
         }
     }

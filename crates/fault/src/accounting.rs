@@ -10,11 +10,12 @@ use serde::{Deserialize, Serialize};
 /// `injected == retried_valid + invalid + refused` holds because every
 /// injected fault corrupts the answer (never silently passes) while an
 /// un-injected surrogate completion always parses. The *serving*
-/// invariant `admitted == completed + shed + expired` holds because the
-/// prediction service answers every submitted job exactly once: with a
-/// completion, a load-shed rejection, or a deadline expiry. Layers that
-/// never queue jobs (the suite) leave the serving counters at zero, which
-/// balances trivially.
+/// invariant `admitted == completed + shed + expired + lint` holds
+/// because the prediction service answers every submitted job exactly
+/// once: with a completion, a load-shed rejection, a deadline expiry, or
+/// a static-diagnostics rejection of raw source. Layers that never queue
+/// jobs (the suite) leave the serving counters at zero, which balances
+/// trivially.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ResponseAccounting {
     /// Completions that parsed on the first attempt.
@@ -49,6 +50,10 @@ pub struct ResponseAccounting {
     /// The subset of `shed` rejected by an open circuit breaker.
     #[serde(default)]
     pub breaker_open: u64,
+    /// Raw-source jobs rejected at admission by error-severity static
+    /// diagnostics ([`crate::PceError::Lint`]).
+    #[serde(default)]
+    pub lint: u64,
 }
 
 /// The CSV column list shared by every ledger renderer (the suite's
@@ -56,7 +61,7 @@ pub struct ResponseAccounting {
 /// [`ResponseAccounting::csv_row`] order.
 pub const ACCOUNTING_CSV_COLUMNS: &str =
     "valid,retried_valid,invalid,refused,injected,retries,backoff_ms,\
-     admitted,completed,shed,expired,breaker_open";
+     admitted,completed,shed,expired,breaker_open,lint";
 
 impl ResponseAccounting {
     /// An empty ledger.
@@ -78,6 +83,7 @@ impl ResponseAccounting {
         self.shed += other.shed;
         self.expired += other.expired;
         self.breaker_open += other.breaker_open;
+        self.lint += other.lint;
     }
 
     /// Merge-and-return, for fold chains.
@@ -110,15 +116,16 @@ impl ResponseAccounting {
     }
 
     /// The serving-level balance invariant: every submitted job must be
-    /// answered exactly once — completed, shed, or expired — and breaker
-    /// rejections are a subset of sheds.
+    /// answered exactly once — completed, shed, expired, or
+    /// lint-rejected — and breaker rejections are a subset of sheds.
     pub fn serve_balanced(&self) -> bool {
-        self.admitted == self.completed + self.shed + self.expired && self.breaker_open <= self.shed
+        self.admitted == self.completed + self.shed + self.expired + self.lint
+            && self.breaker_open <= self.shed
     }
 
     /// Both ledger invariants:
     /// `injected == retried_valid + invalid + refused` ∧
-    /// `admitted == completed + shed + expired`.
+    /// `admitted == completed + shed + expired + lint`.
     pub fn balanced(&self) -> bool {
         self.response_balanced() && self.serve_balanced()
     }
@@ -129,7 +136,7 @@ impl ResponseAccounting {
     /// report the same schema.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.valid,
             self.retried_valid,
             self.invalid,
@@ -142,6 +149,7 @@ impl ResponseAccounting {
             self.shed,
             self.expired,
             self.breaker_open,
+            self.lint,
         )
     }
 }
@@ -168,11 +176,12 @@ mod tests {
             injected: 4,
             retries: 5,
             backoff_ms: 700,
-            admitted: 16,
+            admitted: 17,
             completed: 14,
             shed: 1,
             expired: 1,
             breaker_open: 1,
+            lint: 1,
         };
         let merged = a.merged(&a);
         assert_eq!(merged.valid, 20);
@@ -182,11 +191,12 @@ mod tests {
         assert_eq!(merged.injected, 8);
         assert_eq!(merged.retries, 10);
         assert_eq!(merged.backoff_ms, 1400);
-        assert_eq!(merged.admitted, 32);
+        assert_eq!(merged.admitted, 34);
         assert_eq!(merged.completed, 28);
         assert_eq!(merged.shed, 2);
         assert_eq!(merged.expired, 2);
         assert_eq!(merged.breaker_open, 2);
+        assert_eq!(merged.lint, 2);
         assert_eq!(merged.total(), 28);
         assert_eq!(merged.recovered(), 4);
         assert!(merged.faulted());
@@ -238,13 +248,14 @@ mod tests {
             injected: 9,
             retries: 6,
             backoff_ms: 123,
-            admitted: 11,
+            admitted: 12,
             completed: 8,
             shed: 2,
             expired: 1,
             breaker_open: 1,
+            lint: 1,
         };
-        assert_eq!(a.csv_row(), "1,2,3,4,9,6,123,11,8,2,1,1");
+        assert_eq!(a.csv_row(), "1,2,3,4,9,6,123,12,8,2,1,1,1");
         assert_eq!(
             a.csv_row().split(',').count(),
             ACCOUNTING_CSV_COLUMNS.split(',').count()
@@ -266,6 +277,7 @@ mod tests {
             shed: 0,
             expired: 0,
             breaker_open: 0,
+            lint: 0,
         };
         let json = serde_json::to_string(&a).unwrap();
         let back: ResponseAccounting = serde_json::from_str(&json).unwrap();

@@ -50,6 +50,14 @@ pub enum PceError {
         /// Why the request was shed.
         what: String,
     },
+    /// Submitted raw kernel source failed static hazard diagnostics
+    /// (data race, missing barrier, missing reduction clause, ...). Not
+    /// retryable: the diagnostics pass is deterministic, so resubmitting
+    /// the same source yields the same rejection.
+    Lint {
+        /// The error-severity diagnostics, one `rule: message` per entry.
+        what: String,
+    },
 }
 
 impl PceError {
@@ -73,19 +81,24 @@ impl PceError {
         PceError::Overload { what: what.into() }
     }
 
+    /// Build a [`PceError::Lint`] from anything displayable.
+    pub fn lint(what: impl Into<String>) -> PceError {
+        PceError::Lint { what: what.into() }
+    }
+
     /// Whether a bounded retry loop should re-issue the request.
     ///
     /// `Timeout`, `Io`, and `Overload` model transient service
     /// conditions; `Parse` covers malformed *responses*, which a salted
-    /// retry can repair. `Refusal` and `Spec` are stable properties of
-    /// the request and retrying them only burns budget.
+    /// retry can repair. `Refusal`, `Spec`, and `Lint` are stable
+    /// properties of the request and retrying them only burns budget.
     pub fn retryable(&self) -> bool {
         match self {
             PceError::Parse { .. }
             | PceError::Timeout { .. }
             | PceError::Io { .. }
             | PceError::Overload { .. } => true,
-            PceError::Refusal { .. } | PceError::Spec { .. } => false,
+            PceError::Refusal { .. } | PceError::Spec { .. } | PceError::Lint { .. } => false,
         }
     }
 
@@ -98,6 +111,7 @@ impl PceError {
             PceError::Spec { .. } => "spec",
             PceError::Io { .. } => "io",
             PceError::Overload { .. } => "overload",
+            PceError::Lint { .. } => "lint",
         }
     }
 }
@@ -111,6 +125,7 @@ impl std::fmt::Display for PceError {
             PceError::Spec { what } => write!(f, "invalid spec: {what}"),
             PceError::Io { what } => write!(f, "transient service error: {what}"),
             PceError::Overload { what } => write!(f, "overload: {what}"),
+            PceError::Lint { what } => write!(f, "lint rejected: {what}"),
         }
     }
 }
@@ -129,6 +144,7 @@ mod tests {
             PceError::spec("model 'gpt-6' is not in the zoo"),
             PceError::io("connection reset by peer"),
             PceError::overload("admission queue full (depth 8)"),
+            PceError::lint("shared-race: write of buf[tid] may race"),
         ]
     }
 
@@ -141,6 +157,10 @@ mod tests {
         assert_eq!(msgs[3], "invalid spec: model 'gpt-6' is not in the zoo");
         assert_eq!(msgs[4], "transient service error: connection reset by peer");
         assert_eq!(msgs[5], "overload: admission queue full (depth 8)");
+        assert_eq!(
+            msgs[6],
+            "lint rejected: shared-race: write of buf[tid] may race"
+        );
     }
 
     #[test]
@@ -155,6 +175,7 @@ mod tests {
         assert!(by_kind["overload"]);
         assert!(!by_kind["refusal"]);
         assert!(!by_kind["spec"]);
+        assert!(!by_kind["lint"]);
     }
 
     #[test]

@@ -50,8 +50,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
-#![warn(missing_docs)]
 
 pub mod cache;
 pub mod ir;

@@ -463,14 +463,31 @@ impl SurrogateEngine {
         } else {
             0.45 * (1.0 - insight).powi(2)
         };
+        // Hazard consultation: the analysis cache carries the lint
+        // diagnostics, and error-severity hazards (races, missing
+        // barriers) make the op/byte tallies themselves suspect — a
+        // racy reduction does not perform the work its source implies.
+        // Deep readers notice and lose confidence: the flip probability
+        // rises toward its cap with each distinct hazard. The shipped
+        // corpus is hazard-clean, so this path adds exactly zero noise
+        // to the paper's accuracy bands.
+        let hazards = analysis.error_count();
+        let flip_p = if deep && hazards > 0 {
+            (flip_p + 0.05 * hazards.min(4) as f64).min(0.45)
+        } else {
+            flip_p
+        };
         let mut answer = verdict;
         if rng.chance(flip_p) {
             answer = answer.flipped();
         }
-        let trace = format!(
+        let mut trace = format!(
             "static AI margins vs (sp,dp,int) balances {:?}; best margin {:.2}; reuse x{:.2}",
             balances, best_margin, reuse_boost
         );
+        if hazards > 0 {
+            trace.push_str(&format!("; {hazards} hazard diagnostics"));
+        }
         (answer.answer_token().to_string(), Some(trace))
     }
 }
@@ -626,6 +643,28 @@ mod tests {
         assert!(plain > 0.82 && plain < 0.97, "plain accuracy {plain}");
         assert!(cot > plain, "CoT must help: {cot} vs {plain}");
         assert!(cot > 0.97, "CoT accuracy {cot}");
+    }
+
+    #[test]
+    fn analysis_cache_carries_hazard_diagnostics() {
+        // The surrogate's mental model sees the lint diagnostics through
+        // the same memoized analysis it uses for op/byte tallies.
+        let racy = r#"
+__global__ void reduce(float* out, const float* in) {
+    __shared__ float buf[256];
+    buf[threadIdx.x] = in[threadIdx.x];
+    for (int s = 128; s > 0; s >>= 1) {
+        if (threadIdx.x < s) buf[threadIdx.x] += buf[threadIdx.x + s];
+    }
+    if (threadIdx.x == 0) out[0] = buf[0];
+}
+"#;
+        let engine = SurrogateEngine::new();
+        let a = engine.caches.analysis(racy, &BTreeMap::new(), 64.0, true);
+        assert!(a.error_count() > 0, "race must surface as an error");
+        // Recall hits the cache and sees the same diagnostics.
+        let b = engine.caches.analysis(racy, &BTreeMap::new(), 64.0, true);
+        assert_eq!(a.diagnostics, b.diagnostics);
     }
 
     #[test]

@@ -27,8 +27,6 @@
 //! bounded and unbounded runs produce byte-identical outputs.
 
 #![forbid(unsafe_code)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
-#![warn(missing_docs)]
 
 use std::collections::BTreeMap;
 use std::fmt;

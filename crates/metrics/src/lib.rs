@@ -26,8 +26,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod bootstrap;
 pub mod chi2;

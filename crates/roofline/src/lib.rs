@@ -45,8 +45,6 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub mod classify;
 pub mod hardware;

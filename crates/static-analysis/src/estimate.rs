@@ -99,6 +99,10 @@ pub struct SourceAnalysis {
     pub kernels: Vec<KernelAnalysis>,
     /// Flat whole-file tally (used by shallow/non-reasoning analysis).
     pub file_tally: OpTally,
+    /// Hazard diagnostics from the lint rules ([`crate::diagnostics`]),
+    /// sorted by span then rule. Empty for clean source.
+    #[serde(default)]
+    pub diagnostics: Vec<crate::diagnostics::Diagnostic>,
 }
 
 impl SourceAnalysis {
@@ -108,6 +112,14 @@ impl SourceAnalysis {
             .iter()
             .find(|k| k.name == name)
             .or_else(|| self.kernels.first())
+    }
+
+    /// Number of error-severity diagnostics (correctness hazards).
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == crate::diagnostics::Severity::Error)
+            .count()
     }
 }
 
@@ -152,6 +164,7 @@ pub fn analyze(source: &str, opts: &AnalyzeOptions) -> SourceAnalysis {
     SourceAnalysis {
         kernels,
         file_tally,
+        diagnostics: crate::diagnostics::diagnose_tokens(source, &tokens, &regions),
     }
 }
 

@@ -3,7 +3,15 @@
 //! Comments are dropped; preprocessor lines are kept as single
 //! [`TokenKind::Pragma`] tokens (the OMP analyzer needs `#pragma omp
 //! target` markers); everything else becomes identifiers, numbers, string
-//! literals, or single/multi-character punctuation.
+//! literals, or single/multi-character punctuation. Every token carries
+//! its byte span in the original source so downstream diagnostics can
+//! report stable locations.
+//!
+//! Pathological input degrades instead of mis-lexing: an unterminated
+//! block comment swallows the rest of the file silently, an unterminated
+//! string or char literal stops at the end of its line (it does not eat
+//! the remainder of the file), and preprocessor continuations accept both
+//! `\`+LF and `\`+CRLF line endings.
 
 use serde::{Deserialize, Serialize};
 
@@ -22,13 +30,17 @@ pub enum TokenKind {
     Punct,
 }
 
-/// One lexed token: kind plus its exact source text.
+/// One lexed token: kind, its exact source text, and its byte span.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Token {
     /// Lexical category.
     pub kind: TokenKind,
     /// Source text of the token.
     pub text: String,
+    /// Half-open byte range `[start, end)` of the token in the source.
+    /// For `Pragma` tokens the end excludes trailing trimmed whitespace.
+    #[serde(default)]
+    pub span: (usize, usize),
 }
 
 impl Token {
@@ -47,8 +59,10 @@ const MULTI_PUNCT: [&str; 26] = [
 /// Lex a source string into tokens.
 ///
 /// The lexer never fails: unrecognized bytes become single-char `Punct`
-/// tokens, which is the right degradation for an estimator that must
-/// accept arbitrary benchmark code.
+/// tokens, unterminated literals produce partial tokens, and the worst
+/// malformed input yields a shorter-than-ideal but well-formed token
+/// stream — the right degradation for an estimator that must accept
+/// arbitrary benchmark code.
 pub fn lex(source: &str) -> Vec<Token> {
     let bytes = source.as_bytes();
     let mut tokens = Vec::with_capacity(source.len() / 4);
@@ -67,7 +81,8 @@ pub fn lex(source: &str) -> Vec<Token> {
             }
             continue;
         }
-        // Block comment.
+        // Block comment. An unterminated one swallows the rest of the
+        // file — the partial token stream up to the `/*` is returned.
         if b == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
             i += 2;
             while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
@@ -76,13 +91,14 @@ pub fn lex(source: &str) -> Vec<Token> {
             i = (i + 2).min(bytes.len());
             continue;
         }
-        // Preprocessor line (with backslash continuations).
+        // Preprocessor line (with backslash continuations, LF or CRLF).
         if b == b'#' {
             let start = i;
             while i < bytes.len() {
                 if bytes[i] == b'\n' {
-                    // Continuation?
-                    if i > 0 && bytes[i - 1] == b'\\' {
+                    let continued = (i >= 1 && bytes[i - 1] == b'\\')
+                        || (i >= 2 && bytes[i - 1] == b'\r' && bytes[i - 2] == b'\\');
+                    if continued {
                         i += 1;
                         continue;
                     }
@@ -90,9 +106,11 @@ pub fn lex(source: &str) -> Vec<Token> {
                 }
                 i += 1;
             }
+            let text = source[start..i].trim_end();
             tokens.push(Token {
                 kind: TokenKind::Pragma,
-                text: source[start..i].trim_end().to_string(),
+                text: text.to_string(),
+                span: (start, start + text.len()),
             });
             continue;
         }
@@ -105,6 +123,7 @@ pub fn lex(source: &str) -> Vec<Token> {
             tokens.push(Token {
                 kind: TokenKind::Ident,
                 text: source[start..i].to_string(),
+                span: (start, i),
             });
             continue;
         }
@@ -131,25 +150,42 @@ pub fn lex(source: &str) -> Vec<Token> {
             tokens.push(Token {
                 kind: TokenKind::Number,
                 text: source[start..i].to_string(),
+                span: (start, i),
             });
             continue;
         }
-        // String / char literal.
+        // String / char literal. An unterminated literal stops at the end
+        // of its line (escaped newlines continue it), so a lone stray
+        // quote cannot swallow the remainder of the file.
         if b == b'"' || b == b'\'' {
             let quote = b;
             let start = i;
             i += 1;
-            while i < bytes.len() && bytes[i] != quote {
-                if bytes[i] == b'\\' {
-                    i += 1;
+            let mut closed = false;
+            while i < bytes.len() {
+                let c = bytes[i];
+                if c == quote {
+                    closed = true;
+                    break;
+                }
+                if c == b'\n' {
+                    break; // unterminated: stop at the line end
+                }
+                if c == b'\\' && i + 1 < bytes.len() {
+                    i += 1; // skip the escaped char (incl. escaped newline)
                 }
                 i += 1;
             }
-            i = (i + 1).min(bytes.len());
+            if closed {
+                i += 1; // consume the closing quote
+            }
+            let end = i.min(bytes.len());
             tokens.push(Token {
                 kind: TokenKind::Str,
-                text: source[start..i].to_string(),
+                text: source[start..end].to_string(),
+                span: (start, end),
             });
+            i = end;
             continue;
         }
         // Multi-char punctuation, longest first.
@@ -158,6 +194,7 @@ pub fn lex(source: &str) -> Vec<Token> {
             tokens.push(Token {
                 kind: TokenKind::Punct,
                 text: (*op).to_string(),
+                span: (i, i + op.len()),
             });
             i += op.len();
             continue;
@@ -167,6 +204,7 @@ pub fn lex(source: &str) -> Vec<Token> {
         tokens.push(Token {
             kind: TokenKind::Punct,
             text: rest[..ch_len].to_string(),
+            span: (i, i + ch_len),
         });
         i += ch_len;
     }
@@ -215,6 +253,14 @@ mod tests {
     }
 
     #[test]
+    fn pragma_crlf_continuation_lines_join() {
+        let toks = lex("#pragma omp target \\\r\n  map(to: a)\r\nx");
+        assert_eq!(toks[0].kind, TokenKind::Pragma);
+        assert!(toks[0].text.contains("map(to: a)"), "{:?}", toks[0].text);
+        assert_eq!(toks[1].text, "x");
+    }
+
+    #[test]
     fn float_literals_keep_suffixes_and_exponents() {
         let toks = texts("1.0f 2.5e-3 0x1Fu 3.0");
         assert_eq!(toks, vec!["1.0f", "2.5e-3", "0x1Fu", "3.0"]);
@@ -254,5 +300,55 @@ mod tests {
     fn empty_and_whitespace_sources() {
         assert!(lex("").is_empty());
         assert!(lex("   \n\t  ").is_empty());
+    }
+
+    #[test]
+    fn spans_index_back_into_the_source() {
+        let src = "y[i] = a * x[i];\n#pragma omp simd\ncall(\"str\", 1.5f);";
+        for t in lex(src) {
+            let (s, e) = t.span;
+            assert!(
+                s <= e && e <= src.len(),
+                "bad span {:?} for {:?}",
+                t.span,
+                t
+            );
+            assert_eq!(&src[s..e], t.text, "span must reproduce the text");
+        }
+    }
+
+    #[test]
+    fn unterminated_string_stops_at_line_end() {
+        // The stray quote must not swallow the next line.
+        let toks = lex("s = \"oops;\nint next = 1;");
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+        assert!(toks.iter().any(|t| t.is("next")), "{toks:?}");
+        // Same for char literals (e.g. a lone apostrophe in text).
+        let toks = lex("int a; ' stray\nint b;");
+        assert!(toks.iter().any(|t| t.is("b")), "{toks:?}");
+    }
+
+    #[test]
+    fn escaped_newline_continues_a_string() {
+        let toks = lex("s = \"one \\\ntwo\"; x");
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("two"));
+        assert!(toks.iter().any(|t| t.is("x")));
+    }
+
+    #[test]
+    fn unterminated_block_comment_and_trailing_backslash_degrade() {
+        // Unterminated block comment: everything after `/*` is dropped,
+        // the tokens before it survive.
+        let toks = lex("int a; /* never closed\nint b;");
+        assert!(toks.iter().any(|t| t.is("a")));
+        assert!(!toks.iter().any(|t| t.is("b")));
+        // Trailing backslash at EOF inside a literal must not panic or
+        // run past the buffer.
+        let toks = lex("\"abc\\");
+        assert_eq!(toks.len(), 1);
+        let toks = lex("#define X \\");
+        assert_eq!(toks.len(), 1);
     }
 }

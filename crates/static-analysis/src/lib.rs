@@ -36,12 +36,12 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
-#![warn(missing_docs)]
 
+pub mod diagnostics;
 pub mod estimate;
 pub mod lexer;
 pub mod structure;
 
+pub use diagnostics::{diagnose, diagnose_tokens, Diagnostic, RuleId, Severity, Span};
 pub use estimate::{analyze, AnalyzeOptions, KernelAnalysis, OpTally, SourceAnalysis};
 pub use lexer::{lex, Token, TokenKind};

@@ -22,7 +22,6 @@
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 #![forbid(unsafe_code)]
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
 pub use pce_core as core;
 pub use pce_dataset as dataset;

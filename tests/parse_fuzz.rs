@@ -1,9 +1,10 @@
-//! Fuzz-style property tests for the prompt parsers: whatever bytes a
-//! (possibly fault-injected) completion hands back, `parse_classify`,
-//! `parse_rq1`, and `Boundedness::parse` must return a structured result
-//! — never panic. Mutations mirror the chaos layer's fault kinds:
-//! truncation at arbitrary char boundaries, random splices, and refusal
-//! text.
+//! Fuzz-style property tests for the prompt parsers and the static
+//! analyzer: whatever bytes a (possibly fault-injected) completion hands
+//! back, `parse_classify`, `parse_rq1`, and `Boundedness::parse` must
+//! return a structured result — never panic — and whatever bytes a
+//! `predict src=...` client sends, `lex`/`analyze`/`diagnose` must do
+//! the same. Mutations mirror the chaos layer's fault kinds: truncation
+//! at arbitrary char boundaries, random splices, and refusal text.
 
 use proptest::prelude::*;
 
@@ -13,6 +14,7 @@ use parallel_code_estimation::prompt::{
     generate_rq1_suite, render_classify_prompt, render_rq1_prompt, ClassifyRequest, ShotStyle,
 };
 use parallel_code_estimation::roofline::{Boundedness, HardwareSpec};
+use parallel_code_estimation::static_analysis::{analyze, diagnose, lex, AnalyzeOptions};
 
 /// A real Fig.-4 classification prompt to mutate.
 fn classify_prompt() -> String {
@@ -33,6 +35,22 @@ fn classify_prompt() -> String {
 fn rq1_prompt() -> String {
     let suite = generate_rq1_suite(4, 0x51);
     render_rq1_prompt(&suite, 0, 2, false)
+}
+
+/// A real CUDA kernel (tree reduction with shared memory, barriers, and
+/// a strided tail loop) to mutate for the static-analysis properties.
+fn kernel_source() -> String {
+    "__global__ void reduce_sum(long n, const float* in, float* out) {\n\
+     \x20 __shared__ float buf[256];\n\
+     \x20 long i = blockIdx.x * (long)blockDim.x + threadIdx.x;\n\
+     \x20 buf[threadIdx.x] = (i < n) ? in[i] : 0; /* guarded load */\n\
+     \x20 __syncthreads();\n\
+     \x20 for (int s = 128; s > 0; s >>= 1) {\n\
+     \x20   if (threadIdx.x < s) buf[threadIdx.x] += buf[threadIdx.x + s];\n\
+     \x20   __syncthreads();\n\
+     \x20 }\n\
+     \x20 if (threadIdx.x == 0) out[blockIdx.x] = buf[0];\n}\n"
+        .to_string()
 }
 
 /// Truncate at the nearest char boundary at or below `at`.
@@ -73,6 +91,47 @@ proptest! {
         let _ = parse_classify(&mutated);
         let _ = parse_rq1(&mutated);
         let _ = Boundedness::parse(&mutated);
+    }
+
+    #[test]
+    fn static_analysis_never_panics_on_arbitrary_source(text in "\\PC{0,300}") {
+        // Any source a raw `predict src=...` client can send must lex,
+        // analyze, and diagnose to a structured (possibly empty) result.
+        let _ = lex(&text);
+        let _ = analyze(&text, &AnalyzeOptions::default());
+        let _ = diagnose(&text);
+    }
+
+    #[test]
+    fn static_analysis_never_panics_on_truncated_kernels(at in 0usize..600) {
+        let src = kernel_source();
+        let cut = truncate_clean(&src, at);
+        let _ = lex(cut);
+        let _ = analyze(cut, &AnalyzeOptions::default());
+        let _ = diagnose(cut);
+    }
+
+    #[test]
+    fn static_analysis_never_panics_on_spliced_kernels(
+        at in 0usize..600,
+        splice in "[ -~\n{}\"/*#\\\\]{0,40}",
+    ) {
+        // Splices cover the lexer's hard cases: unterminated comments
+        // and strings, stray backslash continuations, orphan braces.
+        let src = kernel_source();
+        let mutated = format!(
+            "{}{splice}{}",
+            truncate_clean(&src, at),
+            truncate_clean(&src, at / 2)
+        );
+        let _ = lex(&mutated);
+        let _ = analyze(&mutated, &AnalyzeOptions::default());
+        let diags = diagnose(&mutated);
+        // Whatever fires must carry spans inside the mutated source.
+        for d in &diags {
+            prop_assert!(d.span.start <= d.span.end);
+            prop_assert!(d.span.end <= mutated.len());
+        }
     }
 
     #[test]

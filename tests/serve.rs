@@ -38,8 +38,8 @@ fn session(service: &PredictionService, input: &str, batch: usize) -> String {
     let mut out = Vec::new();
     service
         .serve_lines(Cursor::new(input.as_bytes()), &mut out, batch)
-        .unwrap();
-    String::from_utf8(out).unwrap()
+        .expect("session runs");
+    String::from_utf8(out).expect("transcript is UTF-8")
 }
 
 #[test]
@@ -142,6 +142,7 @@ fn serve_protocol_is_deterministic_bounded_and_ledger_balanced() {
             model: "o3-mini".into(),
             style: ShotStyle::FewShot,
             deadline_ms: None,
+            src: None,
         }))
     );
 }

@@ -261,6 +261,7 @@ fn fmt_time(ns: f64) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Generated benchmark group runner."]
         pub fn $group() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
